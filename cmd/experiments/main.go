@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures
+// (see DESIGN.md §4 for the experiment index):
+//
+//	experiments [-quick] [-seed N] <id>...
+//
+// ids: fig2a fig2b fig3 table1 timing study scale ablation taxonomy all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lakenav/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale instances")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-seed N] fig2a|fig2b|fig3|table1|timing|study|scale|ablation|taxonomy|all")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}
+
+	runners := map[string]func() error{
+		"fig2a":    func() error { _, err := experiments.Figure2a(opts); return err },
+		"fig2b":    func() error { _, err := experiments.Figure2b(opts); return err },
+		"fig3":     func() error { _, err := experiments.Figure3(opts); return err },
+		"table1":   func() error { _, err := experiments.Table1(opts); return err },
+		"timing":   func() error { _, err := experiments.Timing(opts); return err },
+		"study":    func() error { _, err := experiments.UserStudy(opts); return err },
+		"scale":    func() error { _, err := experiments.Scalability(opts); return err },
+		"ablation": func() error { _, err := experiments.Ablations(opts); return err },
+		"taxonomy": func() error { _, err := experiments.Taxonomy(opts); return err },
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"fig2a", "fig2b", "fig3", "timing", "study", "scale", "ablation", "taxonomy"}
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

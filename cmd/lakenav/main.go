@@ -1,0 +1,225 @@
+// Command lakenav is the command-line interface to the lakenav library:
+// generate synthetic lakes, inspect lake statistics, build organizations,
+// and run keyword searches.
+//
+// Usage:
+//
+//	lakenav gen -kind tagcloud|socrata -out lake.json [-quick] [-seed N]
+//	lakenav stats -lake lake.json
+//	lakenav organize -lake lake.json [-dims N] [-no-opt] [-seed N] [-export org.json]
+//	lakenav search -lake lake.json -q "query" [-k N]
+//	lakenav walk -lake lake.json -q "query" [-dims N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lakenav"
+	"lakenav/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "organize":
+		err = cmdOrganize(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "walk":
+		err = cmdWalk(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakenav:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lakenav <command> [flags]
+
+commands:
+  gen       generate a synthetic lake (tagcloud or socrata)
+  stats     print lake statistics
+  organize  build an organization and report its structure
+  search    BM25 keyword search over a lake
+  walk      simulate one navigation toward a query`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "socrata", "lake kind: tagcloud or socrata")
+	out := fs.String("out", "lake.json", "output path")
+	quick := fs.Bool("quick", false, "generate a reduced instance")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	var save func(path string) error
+	switch *kind {
+	case "tagcloud":
+		cfg := synth.PaperTagCloudConfig()
+		if *quick {
+			cfg = synth.SmallTagCloudConfig()
+		}
+		cfg.Seed = *seed
+		tc, err := synth.GenerateTagCloud(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tagcloud: %d tables, %d attributes, %d tags\n",
+			len(tc.Lake.Tables), len(tc.Lake.Attrs), len(tc.Lake.Tags()))
+		save = tc.Lake.SaveFile
+	case "socrata":
+		cfg := synth.DefaultSocrataConfig()
+		if *quick {
+			cfg = synth.SmallSocrataConfig()
+		}
+		cfg.Seed = *seed
+		soc, err := synth.GenerateSocrata(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("socrata-like: %d tables, %d attributes, %d tags\n",
+			len(soc.Lake.Tables), len(soc.Lake.Attrs), len(soc.Lake.Tags()))
+		save = soc.Lake.SaveFile
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err := save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func loadLake(path string) (*lakenav.Lake, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -lake")
+	}
+	return lakenav.LoadJSON(path)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("lake", "", "lake JSON path")
+	fs.Parse(args)
+	l, err := loadLake(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Println(l.Stats())
+	return nil
+}
+
+func cmdOrganize(args []string) error {
+	fs := flag.NewFlagSet("organize", flag.ExitOnError)
+	path := fs.String("lake", "", "lake JSON path")
+	dims := fs.Int("dims", 1, "number of dimensions")
+	noOpt := fs.Bool("no-opt", false, "skip local-search optimization")
+	seed := fs.Int64("seed", 1, "construction seed")
+	export := fs.String("export", "", "write the organization structure to this path")
+	tree := fs.Bool("tree", false, "print the organization outline")
+	fs.Parse(args)
+	l, err := loadLake(*path)
+	if err != nil {
+		return err
+	}
+	cfg := lakenav.DefaultConfig()
+	cfg.Dimensions = *dims
+	cfg.Optimize = !*noOpt
+	cfg.Seed = *seed
+	org, err := lakenav.Organize(l, cfg)
+	if err != nil {
+		return err
+	}
+	org.WriteReport(os.Stdout)
+	fmt.Printf("mean success probability (theta=0.9): %.4f\n", org.SuccessProbability(0))
+	if *tree {
+		if err := org.WriteTree(os.Stdout, 6, 12); err != nil {
+			return err
+		}
+	}
+	if *export != "" {
+		if err := org.SaveJSON(*export); err != nil {
+			return err
+		}
+		fmt.Printf("wrote organization to %s\n", *export)
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	path := fs.String("lake", "", "lake JSON path")
+	query := fs.String("q", "", "keyword query")
+	k := fs.Int("k", 10, "results to return")
+	fs.Parse(args)
+	if *query == "" {
+		return fmt.Errorf("missing -q")
+	}
+	l, err := loadLake(*path)
+	if err != nil {
+		return err
+	}
+	se := lakenav.NewSearchEngine(l)
+	hits := se.Search(*query, *k)
+	if len(hits) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	for i, h := range hits {
+		fmt.Printf("%2d. %s\n", i+1, h)
+	}
+	return nil
+}
+
+func cmdWalk(args []string) error {
+	fs := flag.NewFlagSet("walk", flag.ExitOnError)
+	path := fs.String("lake", "", "lake JSON path")
+	query := fs.String("q", "", "intent query")
+	dims := fs.Int("dims", 1, "organization dimensions")
+	seed := fs.Int64("seed", 0, "walk seed (0 = greedy)")
+	fs.Parse(args)
+	if *query == "" {
+		return fmt.Errorf("missing -q")
+	}
+	l, err := loadLake(*path)
+	if err != nil {
+		return err
+	}
+	cfg := lakenav.DefaultConfig()
+	cfg.Dimensions = *dims
+	org, err := lakenav.Organize(l, cfg)
+	if err != nil {
+		return err
+	}
+	var rng *rand.Rand
+	if *seed != 0 {
+		rng = rand.New(rand.NewSource(*seed))
+	}
+	for i, label := range org.Walk(*query, rng) {
+		fmt.Printf("%s%s\n", indent(i), label)
+	}
+	return nil
+}
+
+func indent(n int) string {
+	out := make([]byte, 2*n)
+	for i := range out {
+		out[i] = ' '
+	}
+	return string(out)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// genQuickLake writes a small synthetic lake for the other subcommand
+// tests.
+func genQuickLake(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lake.json")
+	if err := cmdGen([]string{"-kind", "socrata", "-quick", "-out", path, "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdGenTagCloud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tc.json")
+	if err := cmdGen([]string{"-kind", "tagcloud", "-quick", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("output missing: %v", err)
+	}
+}
+
+func TestCmdGenUnknownKind(t *testing.T) {
+	if err := cmdGen([]string{"-kind", "nope"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	path := genQuickLake(t)
+	if err := cmdStats([]string{"-lake", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("missing -lake accepted")
+	}
+}
+
+func TestCmdOrganizeAndExport(t *testing.T) {
+	path := genQuickLake(t)
+	orgPath := filepath.Join(t.TempDir(), "org.json")
+	if err := cmdOrganize([]string{"-lake", path, "-dims", "2", "-export", orgPath}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(orgPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("exported org missing: %v", err)
+	}
+}
+
+func TestCmdSearch(t *testing.T) {
+	path := genQuickLake(t)
+	if err := cmdSearch([]string{"-lake", path, "-q", "topic000_w0000", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSearch([]string{"-lake", path}); err == nil {
+		t.Error("missing -q accepted")
+	}
+}
+
+func TestCmdWalk(t *testing.T) {
+	path := genQuickLake(t)
+	if err := cmdWalk([]string{"-lake", path, "-q", "topic001_w0000 topic001_w0001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWalk([]string{"-lake", path}); err == nil {
+		t.Error("missing -q accepted")
+	}
+}

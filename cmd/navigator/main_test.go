@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lakenav"
+)
+
+func testOrg(t *testing.T) *lakenav.Organization {
+	t.Helper()
+	l := lakenav.NewLake()
+	l.AddTable("fish", []string{"fisheries"},
+		lakenav.Column{Name: "species", Values: []string{"pacific salmon", "atlantic cod"}})
+	l.AddTable("crops", []string{"agriculture"},
+		lakenav.Column{Name: "crop", Values: []string{"winter wheat", "spring barley"}})
+	org, err := lakenav.Organize(l, lakenav.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return org
+}
+
+func session(t *testing.T, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	run(testOrg(t), strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestSessionDescendAndQuit(t *testing.T) {
+	out := session(t, "0\nq\n")
+	if !strings.Contains(out, "depth 2") {
+		t.Errorf("no descent in output:\n%s", out)
+	}
+}
+
+func TestSessionBacktrack(t *testing.T) {
+	out := session(t, "0\n..\nq\n")
+	if !strings.Contains(out, "depth 1") {
+		t.Errorf("no backtrack:\n%s", out)
+	}
+	out = session(t, "..\nq\n")
+	if !strings.Contains(out, "already at the root") {
+		t.Errorf("root backtrack message missing:\n%s", out)
+	}
+}
+
+func TestSessionSuggest(t *testing.T) {
+	out := session(t, "? salmon\nq\n")
+	if !strings.Contains(out, "%") {
+		t.Errorf("no suggestions:\n%s", out)
+	}
+}
+
+func TestSessionBadInput(t *testing.T) {
+	out := session(t, "zebra\n999\nd 42\nq\n")
+	if !strings.Contains(out, "enter a child number") {
+		t.Errorf("bad input not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "dimensions: 0..") {
+		t.Errorf("bad dimension not reported:\n%s", out)
+	}
+}
+
+func TestSessionReachLeaf(t *testing.T) {
+	// Descend 0 repeatedly; on a tiny org we hit a leaf within depth 10.
+	out := session(t, strings.Repeat("0\n", 10)+"q\n")
+	if !strings.Contains(out, "navigation complete") {
+		t.Errorf("never reached a leaf:\n%s", out)
+	}
+}
+
+func TestSessionEOFExits(t *testing.T) {
+	// No explicit quit: EOF must end the loop.
+	_ = session(t, "0\n")
+}

@@ -1,0 +1,206 @@
+// Command navserver serves an organization over HTTP: a JSON API plus a
+// minimal HTML browser, the web analogue of the user-study prototype.
+//
+//	navserver -lake lake.json [-org org.json] [-dims N] [-addr :8080]
+//
+// API:
+//
+//	GET /api/node?dim=0&path=0.2.1   the node at that child-index path
+//	GET /api/suggest?dim=0&path=…&q=terms  ranked children for a query
+//	GET /api/search?q=terms&k=10     BM25 table search
+//	GET /                            HTML browser
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lakenav"
+)
+
+type server struct {
+	org    *lakenav.Organization
+	search *lakenav.SearchEngine
+}
+
+func main() {
+	path := flag.String("lake", "", "lake JSON path")
+	orgPath := flag.String("org", "", "pre-built organization JSON (skips construction)")
+	dims := flag.Int("dims", 1, "organization dimensions")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *path == "" {
+		log.Fatal("navserver: missing -lake")
+	}
+	l, err := lakenav.LoadJSON(*path)
+	if err != nil {
+		log.Fatal("navserver: ", err)
+	}
+	var org *lakenav.Organization
+	if *orgPath != "" {
+		log.Printf("loading organization from %s…", *orgPath)
+		org, err = lakenav.LoadOrganization(l, *orgPath)
+	} else {
+		cfg := lakenav.DefaultConfig()
+		cfg.Dimensions = *dims
+		log.Printf("organizing %d tables…", l.Tables())
+		org, err = lakenav.Organize(l, cfg)
+	}
+	if err != nil {
+		log.Fatal("navserver: ", err)
+	}
+	s := &server{org: org, search: lakenav.NewSearchEngine(l)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/node", s.handleNode)
+	mux.HandleFunc("/api/suggest", s.handleSuggest)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/", s.handleIndex)
+	log.Printf("listening on %s (%d dimensions)", *addr, org.Dimensions())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// navigateTo positions a fresh navigator at the dotted child-index path.
+func (s *server) navigateTo(dim int, path string) (*lakenav.Navigator, error) {
+	nav := s.org.Navigator()
+	nav.Reset(dim)
+	if path == "" {
+		return nav, nil
+	}
+	for _, part := range strings.Split(path, ".") {
+		i, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad path element %q", part)
+		}
+		if !nav.Descend(i) {
+			return nil, fmt.Errorf("path element %d out of range", i)
+		}
+	}
+	return nav, nil
+}
+
+type nodeResponse struct {
+	Here     lakenav.Node   `json:"here"`
+	Depth    int            `json:"depth"`
+	Dim      int            `json:"dim"`
+	Children []lakenav.Node `json:"children"`
+}
+
+func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
+	dim, _ := strconv.Atoi(r.URL.Query().Get("dim"))
+	nav, err := s.navigateTo(dim, r.URL.Query().Get("path"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, nodeResponse{
+		Here:     nav.Here(),
+		Depth:    nav.Depth(),
+		Dim:      nav.Dimension(),
+		Children: nav.Children(),
+	})
+}
+
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	dim, _ := strconv.Atoi(r.URL.Query().Get("dim"))
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	nav, err := s.navigateTo(dim, r.URL.Query().Get("path"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, nav.Suggest(q))
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 {
+		k = 10
+	}
+	writeJSON(w, s.search.Search(q, k))
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("navserver: encode: %v", err)
+	}
+}
+
+const indexHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>lakenav</title>
+<style>
+ body { font: 15px/1.5 system-ui, sans-serif; max-width: 48rem; margin: 2rem auto; padding: 0 1rem; }
+ li { cursor: pointer; padding: .15rem 0; }
+ li:hover { text-decoration: underline; }
+ .leaf { color: #2a7; }
+ #crumbs { color: #666; margin-bottom: .5rem; }
+ input { width: 60%; padding: .3rem; }
+</style>
+<h1>lakenav</h1>
+<div id="crumbs"></div>
+<h2 id="label"></h2>
+<ul id="children"></ul>
+<p><input id="q" placeholder="rank choices against a query"> <button onclick="suggest()">suggest</button></p>
+<script>
+let path = [];
+async function load() {
+  const res = await fetch('/api/node?path=' + path.join('.'));
+  const node = await res.json();
+  document.getElementById('label').textContent = node.here.Label + ' (' + node.here.Attrs + ' attributes)';
+  document.getElementById('crumbs').textContent = 'depth ' + node.depth + (path.length ? ' — click a node to descend, ⌫ to go up' : '');
+  const ul = document.getElementById('children');
+  ul.innerHTML = '';
+  if (path.length) {
+    const up = document.createElement('li');
+    up.textContent = '⌫ up';
+    up.onclick = () => { path.pop(); load(); };
+    ul.appendChild(up);
+  }
+  (node.children || []).forEach((c, i) => {
+    const li = document.createElement('li');
+    li.textContent = c.Label + ' (' + c.Attrs + ')' + (c.IsLeaf ? ' — table ' + c.Table : '');
+    if (c.IsLeaf) li.className = 'leaf';
+    else li.onclick = () => { path.push(i); load(); };
+    ul.appendChild(li);
+  });
+}
+async function suggest() {
+  const q = document.getElementById('q').value;
+  if (!q) return;
+  const res = await fetch('/api/suggest?q=' + encodeURIComponent(q) + '&path=' + path.join('.'));
+  const ranked = await res.json();
+  const ul = document.getElementById('children');
+  ul.innerHTML = '';
+  (ranked || []).forEach(s => {
+    const li = document.createElement('li');
+    li.textContent = (100 * s.Probability).toFixed(1) + '%  ' + s.Label;
+    if (!s.IsLeaf) li.onclick = () => { path.push(s.Index); load(); };
+    ul.appendChild(li);
+  });
+}
+load();
+</script>`

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lakenav"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	l := lakenav.NewLake()
+	l.AddTable("fish", []string{"fisheries"},
+		lakenav.Column{Name: "species", Values: []string{"pacific salmon", "atlantic cod"}})
+	l.AddTable("crops", []string{"agriculture"},
+		lakenav.Column{Name: "crop", Values: []string{"winter wheat", "spring barley"}})
+	l.AddTable("transit", []string{"city"},
+		lakenav.Column{Name: "route", Values: []string{"harbour loop", "night bus"}})
+	org, err := lakenav.Organize(l, lakenav.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{org: org, search: lakenav.NewSearchEngine(l)}
+}
+
+func get(t *testing.T, h http.HandlerFunc, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	return rec
+}
+
+func TestHandleNodeRoot(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleNode, "/api/node")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp nodeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Depth != 1 || resp.Here.IsLeaf {
+		t.Errorf("root response = %+v", resp)
+	}
+	if len(resp.Children) == 0 {
+		t.Error("root has no children")
+	}
+}
+
+func TestHandleNodeDescends(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleNode, "/api/node?path=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp nodeResponse
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Depth != 2 {
+		t.Errorf("depth = %d", resp.Depth)
+	}
+}
+
+func TestHandleNodeBadPath(t *testing.T) {
+	s := testServer(t)
+	for _, url := range []string{"/api/node?path=zebra", "/api/node?path=999"} {
+		if rec := get(t, s.handleNode, url); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", url, rec.Code)
+		}
+	}
+}
+
+func TestHandleSuggest(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleSuggest, "/api/suggest?q=salmon")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var ranked []lakenav.ScoredNode
+	if err := json.Unmarshal(rec.Body.Bytes(), &ranked); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if rec := get(t, s.handleSuggest, "/api/suggest"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", rec.Code)
+	}
+}
+
+func TestHandleSearch(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleSearch, "/api/search?q=salmon&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var hits []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0] != "fish" {
+		t.Errorf("hits = %v", hits)
+	}
+	if rec := get(t, s.handleSearch, "/api/search"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", rec.Code)
+	}
+}
+
+func TestHandleIndex(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleIndex, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	if rec := get(t, s.handleIndex, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", rec.Code)
+	}
+}

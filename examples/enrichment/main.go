@@ -1,0 +1,88 @@
+// Enrichment: the paper's metadata-enrichment experiment in miniature.
+// A table buried under one crowded, unspecific tag is hard to discover;
+// adding one well-chosen tag gives it a second, less crowded discovery
+// path (Eq 4 sums discovery probability over paths). This is the
+// mechanism behind the paper's "enriched 2-dim" run and its future-work
+// direction of automatic metadata enrichment.
+//
+//	go run ./examples/enrichment
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"lakenav"
+)
+
+func main() {
+	build := func() *lakenav.Lake {
+		l := lakenav.NewLake()
+		// Transport corner: specific, lightly populated tags.
+		l.AddTable("road_sensors", []string{"transport", "city"},
+			lakenav.Column{Name: "reading", Values: []string{
+				"traffic volume north", "average speed bridge", "congestion downtown"}})
+		l.AddTable("rail_schedule", []string{"transport", "rail"},
+			lakenav.Column{Name: "service", Values: []string{
+				"commuter express line", "freight corridor slot", "night rail service"}})
+		// The victim: bikeshare trips dumped under the portal's junk
+		// drawer tag along with ten unrelated uploads. Its only
+		// discovery path runs through a crowded, topically incoherent
+		// tag state.
+		l.AddTable("bikeshare_trips", []string{"uncategorized"},
+			lakenav.Column{Name: "trip", Values: []string{
+				"dock station rental", "bike trip downtown", "pedal commute morning"}})
+		for i := 0; i < 10; i++ {
+			l.AddTable(fmt.Sprintf("misc_upload_%02d", i), []string{"uncategorized"},
+				lakenav.Column{Name: "data", Values: []string{
+					fmt.Sprintf("assorted record batch %d", i),
+					fmt.Sprintf("uploaded file part %d", i),
+					fmt.Sprintf("miscellaneous entry %d", i)}})
+		}
+		l.AddTable("air_quality", []string{"environment", "health"},
+			lakenav.Column{Name: "measure", Values: []string{
+				"particulate reading", "ozone level station", "air sensor calibration"}})
+		return l
+	}
+
+	report := func(label string, l *lakenav.Lake) float64 {
+		org, err := lakenav.Organize(l, lakenav.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		success := org.TableSuccess(0)
+		names := make([]string, 0, len(success))
+		for name := range success {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("%s:\n", label)
+		for _, name := range names {
+			if name != "bikeshare_trips" && name != "road_sensors" && name != "rail_schedule" {
+				continue
+			}
+			fmt.Printf("  %-18s %.3f\n", name, success[name])
+		}
+		return success["bikeshare_trips"]
+	}
+
+	before := report("before enrichment", build())
+
+	// Enrich: one good tag gives the orphan a second discovery path
+	// through the small, coherent transport corner.
+	enriched := build()
+	enriched.AddTag("bikeshare_trips", "transport")
+	after := report("\nafter tagging bikeshare_trips with 'transport'", enriched)
+
+	fmt.Printf("\nbikeshare_trips success probability: %.3f -> %.3f\n", before, after)
+	switch {
+	case after > before:
+		fmt.Println("the second tag added an uncrowded discovery path (Eq 4 sums over paths).")
+	default:
+		fmt.Println("note: enrichment also dilutes the adopting tag state (Eq 1's branching")
+		fmt.Println("penalty); on this run the dilution won — the paper observes the same")
+		fmt.Println("tension, which is why enrichment targets the least discoverable tables.")
+	}
+}

@@ -1,0 +1,83 @@
+// Hybrid: the paper's future-work "unified framework" — keyword search
+// and navigation as interchangeable modalities. Search for what you can
+// name, pivot into the organization where the hit lives, browse its
+// topical neighbourhood, and turn the neighbourhood back into new
+// queries.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lakenav"
+)
+
+func main() {
+	l := buildLake()
+	org, err := lakenav.Organize(l, lakenav.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	h, err := lakenav.NewHybrid(l, org)
+	if err != nil {
+		fail(err)
+	}
+
+	// 1. Search for what the user can name.
+	fmt.Println("search: \"permit\"")
+	hits := h.Search("permit", 3)
+	if len(hits) == 0 {
+		fail(fmt.Errorf("no hits"))
+	}
+	for _, hit := range hits {
+		fmt.Printf("  %-20s (score %.2f)\n", hit.Table, hit.Score)
+		for _, j := range hit.Jumps {
+			fmt.Printf("      ↳ jump into %q (%d tables nearby)\n", j.Label, j.Tables)
+		}
+	}
+
+	// 2. Pivot into the organization at the best jump point.
+	jump := hits[0].Jumps[0]
+	fmt.Printf("\npivoting into %q:\n", jump.Label)
+	neighborhood, err := h.Neighborhood(jump, 0)
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range neighborhood {
+		fmt.Println("  -", t)
+	}
+
+	// 3. Turn the neighbourhood back into queries.
+	queries, err := h.RelatedQueries(jump, 3)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nfollow-up queries from this corner of the lake: %v\n", queries)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hybrid:", err)
+	os.Exit(1)
+}
+
+func buildLake() *lakenav.Lake {
+	l := lakenav.NewLake()
+	l.AddTable("building_permits", []string{"construction", "city"},
+		lakenav.Column{Name: "permit", Values: []string{
+			"residential building permit", "demolition permit north", "renovation permit"}})
+	l.AddTable("zoning_changes", []string{"construction", "planning"},
+		lakenav.Column{Name: "case", Values: []string{
+			"rezoning application", "variance hearing", "density amendment"}})
+	l.AddTable("site_inspections", []string{"construction", "safety"},
+		lakenav.Column{Name: "result", Values: []string{
+			"scaffolding violation", "crane certificate", "site safety pass"}})
+	l.AddTable("street_trees", []string{"environment", "city"},
+		lakenav.Column{Name: "tree", Values: []string{
+			"red maple planting", "elm removal", "oak health survey"}})
+	l.AddTable("noise_complaints", []string{"city"},
+		lakenav.Column{Name: "complaint", Values: []string{
+			"late construction noise", "nightclub noise report", "traffic noise"}})
+	return l
+}

@@ -1,0 +1,90 @@
+// Opendata: organize a portal-scale synthetic open data lake with a
+// multi-dimensional organization, compare against the flat tag baseline,
+// and show what a navigation session looks like — the paper's Socrata
+// scenario end to end.
+//
+//	go run ./examples/opendata
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"lakenav"
+	"lakenav/internal/synth"
+)
+
+func main() {
+	// Generate a Socrata-like lake (Zipfian tags-per-table and
+	// attributes-per-table, 26% text attributes) and persist it like a
+	// crawled portal dump.
+	cfg := synth.DefaultSocrataConfig()
+	cfg.Tables = 300
+	soc, err := synth.GenerateSocrata(cfg)
+	if err != nil {
+		fail(err)
+	}
+	dir, err := os.MkdirTemp("", "lakenav-opendata")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	lakePath := filepath.Join(dir, "portal.json")
+	if err := soc.Lake.SaveFile(lakePath); err != nil {
+		fail(err)
+	}
+
+	// From here on: public API only, exactly what a downstream user of
+	// a real portal dump would write.
+	l, err := lakenav.LoadJSON(lakePath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(l.Stats())
+
+	// The flat baseline is what a portal's tag listing gives you.
+	flatCfg := lakenav.DefaultConfig()
+	flatCfg.Optimize = false
+	flatCfg.Dimensions = 1
+
+	multiCfg := lakenav.DefaultConfig()
+	multiCfg.Dimensions = 6
+
+	multi, err := lakenav.Organize(l, multiCfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%d-dimensional organization:\n", multi.Dimensions())
+	multi.WriteReport(os.Stdout)
+	fmt.Printf("mean success probability: %.4f\n", multi.SuccessProbability(0))
+
+	// A stochastic user session: three walks toward the same interest.
+	fmt.Println("\nthree navigation sessions toward the same interest:")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3; i++ {
+		path := multi.Walk("topic000_w0000 topic000_w0001", rng)
+		fmt.Printf("  session %d: %d steps -> %s\n", i+1, len(path)-1, path[len(path)-1])
+	}
+
+	// The least and most discoverable tables.
+	success := multi.TableSuccess(0)
+	lo, hi := "", ""
+	loV, hiV := 2.0, -1.0
+	for name, p := range success {
+		if p < loV {
+			loV, lo = p, name
+		}
+		if p > hiV {
+			hiV, hi = p, name
+		}
+	}
+	fmt.Printf("\nhardest table to find:  %s (%.3f)\n", lo, loV)
+	fmt.Printf("easiest table to find:  %s (%.3f)\n", hi, hiV)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "opendata:", err)
+	os.Exit(1)
+}

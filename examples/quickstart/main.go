@@ -1,0 +1,65 @@
+// Quickstart: build a small data lake, organize it, and navigate.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lakenav"
+)
+
+func main() {
+	// A lake is tables + columns + tag metadata.
+	l := lakenav.NewLake()
+	l.AddTable("fish_inventory", []string{"fisheries", "ocean"},
+		lakenav.Column{Name: "species", Values: []string{
+			"pacific salmon", "atlantic cod", "rainbow trout", "halibut", "arctic char"}},
+	)
+	l.AddTable("catch_quotas", []string{"fisheries", "economy"},
+		lakenav.Column{Name: "stock", Values: []string{
+			"salmon quota", "cod quota", "herring quota"}},
+	)
+	l.AddTable("crop_yields", []string{"agriculture", "grain"},
+		lakenav.Column{Name: "crop", Values: []string{
+			"winter wheat", "spring barley", "yellow corn", "canola"}},
+	)
+	l.AddTable("food_inspections", []string{"fisheries", "agriculture"},
+		lakenav.Column{Name: "product", Values: []string{
+			"smoked salmon", "wheat flour", "corn meal", "fish oil"}},
+	)
+	l.AddTable("transit_routes", []string{"city", "transport"},
+		lakenav.Column{Name: "route", Values: []string{
+			"downtown express", "harbour loop", "airport shuttle"}},
+	)
+	fmt.Println(l.Stats())
+
+	// Organize: an optimized navigation DAG over the lake's attributes.
+	org, err := lakenav.Organize(l, lakenav.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	org.WriteReport(os.Stdout)
+
+	// Navigate interactively (programmatic cursor).
+	fmt.Println("\nnavigating toward 'salmon fishing':")
+	nav := org.Navigator()
+	for !nav.Here().IsLeaf {
+		ranked := nav.Suggest("salmon fishing")
+		best := ranked[0]
+		fmt.Printf("  at %q, choosing %q (%.0f%%)\n",
+			nav.Here().Label, best.Label, 100*best.Probability)
+		nav.Descend(best.Index)
+	}
+	fmt.Printf("  found attribute %q of table %q\n", nav.Here().Label, nav.Here().Table)
+
+	// One-call version of the same walk.
+	fmt.Println("\nWalk:", organizePath(org))
+}
+
+func organizePath(org *lakenav.Organization) []string {
+	return org.Walk("salmon fishing", nil)
+}

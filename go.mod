@@ -1,0 +1,3 @@
+module lakenav
+
+go 1.22

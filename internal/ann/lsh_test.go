@@ -1,0 +1,188 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+
+	"lakenav/vector"
+)
+
+func randUnit(rng *rand.Rand, dim int) vector.Vector {
+	v := vector.New(dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return vector.Normalize(v)
+}
+
+// perturb returns a unit vector near v (cosine well above 0.9 for small eps).
+func perturb(rng *rand.Rand, v vector.Vector, eps float64) vector.Vector {
+	out := v.Clone()
+	for i := range out {
+		out[i] += rng.NormFloat64() * eps / float64(len(out))
+	}
+	return vector.Normalize(out)
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Bits: 8, Bands: 2},
+		{Dim: 4, Bits: 0, Bands: 2},
+		{Dim: 4, Bits: 65, Bands: 2},
+		{Dim: 4, Bits: 8, Bands: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted: %+v", i, cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestAddAndLen(t *testing.T) {
+	x := New(DefaultConfig(8))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		if id := x.Add(randUnit(rng, 8)); id != i {
+			t.Errorf("Add returned id %d, want %d", id, i)
+		}
+	}
+	if x.Len() != 5 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}
+
+func TestAddDimensionPanics(t *testing.T) {
+	x := New(DefaultConfig(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch accepted")
+		}
+	}()
+	x.Add(vector.New(4))
+}
+
+func TestSimilarFindsNearDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(DefaultConfig(32))
+	base := randUnit(rng, 32)
+	ids := map[int]bool{}
+	ids[x.Add(base)] = true
+	for i := 0; i < 4; i++ {
+		ids[x.Add(perturb(rng, base, 0.3))] = true
+	}
+	// Distractors far from base.
+	for i := 0; i < 50; i++ {
+		x.Add(randUnit(rng, 32))
+	}
+	got := x.Similar(base, 0.9)
+	if len(got) < 4 {
+		t.Fatalf("found %d near-duplicates, want >= 4", len(got))
+	}
+	for _, m := range got {
+		if !ids[m.ID] {
+			t.Errorf("false positive id %d with similarity %v", m.ID, m.Similarity)
+		}
+		if m.Similarity < 0.9 {
+			t.Errorf("result below threshold: %v", m.Similarity)
+		}
+	}
+	// Sorted descending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Similarity > got[i-1].Similarity {
+			t.Error("results not sorted")
+		}
+	}
+}
+
+func TestSimilarNoFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := New(DefaultConfig(16))
+	for i := 0; i < 200; i++ {
+		x.Add(randUnit(rng, 16))
+	}
+	q := randUnit(rng, 16)
+	for _, m := range x.Similar(q, 0.95) {
+		if m.Similarity < 0.95 {
+			t.Errorf("below-threshold match %v", m.Similarity)
+		}
+	}
+}
+
+func TestSimilarRecallAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(DefaultConfig(32))
+	var queries []vector.Vector
+	for c := 0; c < 10; c++ {
+		base := randUnit(rng, 32)
+		queries = append(queries, base)
+		x.Add(base)
+		for i := 0; i < 9; i++ {
+			x.Add(perturb(rng, base, 0.25))
+		}
+	}
+	var found, truth int
+	for _, q := range queries {
+		truth += len(x.SimilarBrute(q, 0.9))
+		found += len(x.Similar(q, 0.9))
+	}
+	if truth == 0 {
+		t.Fatal("degenerate test: no ground-truth matches")
+	}
+	recall := float64(found) / float64(truth)
+	if recall < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9 (found %d of %d)", recall, found, truth)
+	}
+}
+
+func TestSimilarEmptyIndex(t *testing.T) {
+	x := New(DefaultConfig(8))
+	if got := x.Similar(vector.New(8), 0.5); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+}
+
+func TestHammingSimilarity(t *testing.T) {
+	x := New(Config{Dim: 16, Bits: 32, Bands: 1, Seed: 9})
+	rng := rand.New(rand.NewSource(11))
+	v := randUnit(rng, 16)
+	agree, total := x.HammingSimilarity(0, v, v)
+	if agree != total {
+		t.Errorf("self agreement = %d/%d", agree, total)
+	}
+	w := vector.Scale(v, -1)
+	agree, _ = x.HammingSimilarity(0, v, w)
+	if agree != 0 {
+		t.Errorf("antipodal agreement = %d, want 0", agree)
+	}
+}
+
+func TestSimilarDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vs := make([]vector.Vector, 50)
+	for i := range vs {
+		vs[i] = randUnit(rng, 16)
+	}
+	build := func() *Index {
+		x := New(Config{Dim: 16, Bits: 12, Bands: 4, Seed: 77})
+		for _, v := range vs {
+			x.Add(v)
+		}
+		return x
+	}
+	a, b := build(), build()
+	q := vs[0]
+	ma, mb := a.Similar(q, 0.3), b.Similar(q, 0.3)
+	if len(ma) != len(mb) {
+		t.Fatalf("nondeterministic: %d vs %d results", len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}

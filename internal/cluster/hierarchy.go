@@ -1,0 +1,258 @@
+// Package cluster implements the clustering substrates the organization
+// algorithm depends on: agglomerative hierarchical clustering (the
+// paper's initial organization, Sec 3.3) and k-medoids partitioning (the
+// paper's multi-dimensional grouping, Sec 2.5 and 4.3.4). Both operate
+// on cosine geometry over topic vectors.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"lakenav/vector"
+)
+
+// Linkage selects how inter-cluster distance is updated after a merge.
+type Linkage int
+
+const (
+	// Average linkage (UPGMA): mean pairwise distance. The default for
+	// building initial organizations.
+	Average Linkage = iota
+	// Complete linkage: maximum pairwise distance.
+	Complete
+	// Single linkage: minimum pairwise distance.
+	Single
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Average:
+		return "average"
+	case Complete:
+		return "complete"
+	case Single:
+		return "single"
+	}
+	return fmt.Sprintf("Linkage(%d)", int(l))
+}
+
+// Merge records one agglomeration step: clusters A and B (node ids)
+// merged at the given distance into a new node.
+type Merge struct {
+	A, B int
+	Dist float64
+}
+
+// Dendrogram is the result of agglomerative clustering over n items.
+// Node ids 0..n-1 are the input items (leaves); merge i creates node
+// n+i. The final merge creates the root, node 2n-2.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Root returns the node id of the dendrogram root. A single-item
+// dendrogram has root 0 and no merges.
+func (d *Dendrogram) Root() int {
+	if d.N == 1 {
+		return 0
+	}
+	return d.N + len(d.Merges) - 1
+}
+
+// Children returns the two children of internal node id, which must be
+// at least N.
+func (d *Dendrogram) Children(id int) (int, int) {
+	m := d.Merges[id-d.N]
+	return m.A, m.B
+}
+
+// IsLeaf reports whether id is an input item.
+func (d *Dendrogram) IsLeaf(id int) bool { return id < d.N }
+
+// Leaves returns the input items under node id in discovery order.
+func (d *Dendrogram) Leaves(id int) []int {
+	var out []int
+	stack := []int{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.IsLeaf(n) {
+			out = append(out, n)
+			continue
+		}
+		a, b := d.Children(n)
+		stack = append(stack, b, a)
+	}
+	return out
+}
+
+// Cut returns a partition of the items into at most k clusters by
+// repeatedly splitting the merge with the largest distance. k must be
+// at least 1.
+func (d *Dendrogram) Cut(k int) [][]int {
+	if k < 1 {
+		panic("cluster: Cut k must be >= 1")
+	}
+	// The merges are produced in nondecreasing... not guaranteed for all
+	// linkages, so pick tops explicitly: the forest after undoing the
+	// last k-1 merges is exactly the k-cluster cut for monotone linkages.
+	if k > d.N {
+		k = d.N
+	}
+	removed := make(map[int]bool, k-1)
+	roots := []int{d.Root()}
+	for len(roots) < k {
+		// Undo the highest remaining internal node among roots.
+		best := -1
+		for i, r := range roots {
+			if !d.IsLeaf(r) && (best == -1 || r > roots[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := roots[best]
+		a, b := d.Children(r)
+		removed[r] = true
+		roots[best] = a
+		roots = append(roots, b)
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, d.Leaves(r))
+	}
+	return out
+}
+
+// CosineDistances builds the condensed pairwise distance matrix
+// 1 − cosine(vi, vj) for the given vectors.
+func CosineDistances(vs []vector.Vector) *DistMatrix {
+	n := len(vs)
+	m := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 1-vector.Cosine(vs[i], vs[j]))
+		}
+	}
+	return m
+}
+
+// DistMatrix is a symmetric n×n distance matrix with zero diagonal,
+// stored condensed.
+type DistMatrix struct {
+	n    int
+	data []float64
+}
+
+// NewDistMatrix returns an all-zero distance matrix over n items.
+func NewDistMatrix(n int) *DistMatrix {
+	return &DistMatrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+// N returns the number of items.
+func (m *DistMatrix) N() int { return m.n }
+
+func (m *DistMatrix) idx(i, j int) int {
+	if i == j {
+		panic("cluster: DistMatrix diagonal access")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// Row-major condensed upper triangle.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// Get returns the distance between items i and j (0 when i == j).
+func (m *DistMatrix) Get(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return m.data[m.idx(i, j)]
+}
+
+// Set stores the distance between items i and j. i must differ from j.
+func (m *DistMatrix) Set(i, j int, d float64) {
+	m.data[m.idx(i, j)] = d
+}
+
+// Agglomerative performs hierarchical clustering over the items of the
+// distance matrix using the Lance-Williams update for the chosen
+// linkage. It consumes dist (the matrix is modified in place). It
+// panics if the matrix has no items.
+func Agglomerative(dist *DistMatrix, linkage Linkage) *Dendrogram {
+	n := dist.N()
+	if n == 0 {
+		panic("cluster: Agglomerative over zero items")
+	}
+	d := &Dendrogram{N: n}
+	if n == 1 {
+		return d
+	}
+
+	// active[i] is the current node id of slot i, or -1 when merged away.
+	active := make([]int, n)
+	size := make([]float64, n)
+	for i := range active {
+		active[i] = i
+		size[i] = 1
+	}
+	remaining := n
+
+	for remaining > 1 {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if active[i] < 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if active[j] < 0 {
+					continue
+				}
+				if dd := dist.Get(i, j); dd < best {
+					best, bi, bj = dd, i, j
+				}
+			}
+		}
+		newID := d.N + len(d.Merges)
+		d.Merges = append(d.Merges, Merge{A: active[bi], B: active[bj], Dist: best})
+
+		// Lance-Williams update of slot bi to represent the merged
+		// cluster; slot bj is retired.
+		si, sj := size[bi], size[bj]
+		for k := 0; k < n; k++ {
+			if k == bi || k == bj || active[k] < 0 {
+				continue
+			}
+			dik, djk := dist.Get(bi, k), dist.Get(bj, k)
+			var nd float64
+			switch linkage {
+			case Average:
+				nd = (si*dik + sj*djk) / (si + sj)
+			case Complete:
+				nd = math.Max(dik, djk)
+			case Single:
+				nd = math.Min(dik, djk)
+			default:
+				panic(fmt.Sprintf("cluster: unknown linkage %d", linkage))
+			}
+			dist.Set(bi, k, nd)
+		}
+		active[bi] = newID
+		size[bi] = si + sj
+		active[bj] = -1
+		remaining--
+	}
+	return d
+}
+
+// AgglomerativeVectors is a convenience wrapper clustering vectors under
+// cosine distance.
+func AgglomerativeVectors(vs []vector.Vector, linkage Linkage) *Dendrogram {
+	return Agglomerative(CosineDistances(vs), linkage)
+}

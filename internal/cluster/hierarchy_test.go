@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lakenav/vector"
+)
+
+func TestDistMatrix(t *testing.T) {
+	m := NewDistMatrix(4)
+	m.Set(0, 3, 1.5)
+	m.Set(2, 1, 0.5)
+	if got := m.Get(3, 0); got != 1.5 {
+		t.Errorf("symmetric Get = %v", got)
+	}
+	if got := m.Get(1, 2); got != 0.5 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := m.Get(2, 2); got != 0 {
+		t.Errorf("diagonal = %v", got)
+	}
+	if m.N() != 4 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestDistMatrixDiagonalSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on diagonal did not panic")
+		}
+	}()
+	NewDistMatrix(2).Set(1, 1, 1)
+}
+
+func TestCosineDistances(t *testing.T) {
+	vs := []vector.Vector{{1, 0}, {0, 1}, {1, 0}}
+	m := CosineDistances(vs)
+	if got := m.Get(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("orthogonal distance = %v, want 1", got)
+	}
+	if got := m.Get(0, 2); math.Abs(got) > 1e-12 {
+		t.Errorf("identical distance = %v, want 0", got)
+	}
+}
+
+// fourPointMatrix builds two tight pairs far apart:
+// items 0,1 close; items 2,3 close; cross distances large.
+func fourPointMatrix() *DistMatrix {
+	m := NewDistMatrix(4)
+	m.Set(0, 1, 0.1)
+	m.Set(2, 3, 0.2)
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		m.Set(p[0], p[1], 1.0)
+	}
+	return m
+}
+
+func TestAgglomerativeStructure(t *testing.T) {
+	for _, linkage := range []Linkage{Average, Complete, Single} {
+		t.Run(linkage.String(), func(t *testing.T) {
+			d := Agglomerative(fourPointMatrix(), linkage)
+			if d.N != 4 || len(d.Merges) != 3 {
+				t.Fatalf("N=%d merges=%d", d.N, len(d.Merges))
+			}
+			// First two merges must join the tight pairs.
+			first := d.Merges[0]
+			if !(first.A == 0 && first.B == 1) && !(first.A == 1 && first.B == 0) {
+				t.Errorf("first merge = %+v, want {0 1}", first)
+			}
+			second := d.Merges[1]
+			if !(second.A == 2 && second.B == 3) && !(second.A == 3 && second.B == 2) {
+				t.Errorf("second merge = %+v, want {2 3}", second)
+			}
+			// Root covers all leaves.
+			leaves := d.Leaves(d.Root())
+			sort.Ints(leaves)
+			if len(leaves) != 4 || leaves[0] != 0 || leaves[3] != 3 {
+				t.Errorf("root leaves = %v", leaves)
+			}
+		})
+	}
+}
+
+func TestAgglomerativeLinkageDistances(t *testing.T) {
+	// Average vs Complete vs Single differ in the final merge distance.
+	dAvg := Agglomerative(fourPointMatrix(), Average)
+	dMax := Agglomerative(fourPointMatrix(), Complete)
+	dMin := Agglomerative(fourPointMatrix(), Single)
+	last := func(d *Dendrogram) float64 { return d.Merges[len(d.Merges)-1].Dist }
+	if !(last(dMin) <= last(dAvg) && last(dAvg) <= last(dMax)) {
+		t.Errorf("linkage ordering violated: single=%v avg=%v complete=%v",
+			last(dMin), last(dAvg), last(dMax))
+	}
+}
+
+func TestAgglomerativeSingleItem(t *testing.T) {
+	d := Agglomerative(NewDistMatrix(1), Average)
+	if d.Root() != 0 || !d.IsLeaf(0) {
+		t.Errorf("single item dendrogram: root=%d", d.Root())
+	}
+	if got := d.Leaves(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Leaves = %v", got)
+	}
+}
+
+func TestAgglomerativeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty clustering did not panic")
+		}
+	}()
+	Agglomerative(NewDistMatrix(0), Average)
+}
+
+func TestCut(t *testing.T) {
+	d := Agglomerative(fourPointMatrix(), Average)
+	two := d.Cut(2)
+	if len(two) != 2 {
+		t.Fatalf("Cut(2) = %d clusters", len(two))
+	}
+	for _, c := range two {
+		sort.Ints(c)
+	}
+	sort.Slice(two, func(i, j int) bool { return two[i][0] < two[j][0] })
+	if !(len(two[0]) == 2 && two[0][0] == 0 && two[0][1] == 1) {
+		t.Errorf("Cut(2)[0] = %v, want [0 1]", two[0])
+	}
+	if !(len(two[1]) == 2 && two[1][0] == 2 && two[1][1] == 3) {
+		t.Errorf("Cut(2)[1] = %v, want [2 3]", two[1])
+	}
+
+	one := d.Cut(1)
+	if len(one) != 1 || len(one[0]) != 4 {
+		t.Errorf("Cut(1) = %v", one)
+	}
+	four := d.Cut(4)
+	if len(four) != 4 {
+		t.Errorf("Cut(4) = %d clusters", len(four))
+	}
+	huge := d.Cut(10)
+	if len(huge) != 4 {
+		t.Errorf("Cut(10) = %d clusters, want clamped to 4", len(huge))
+	}
+}
+
+func TestCutInvalid(t *testing.T) {
+	d := Agglomerative(fourPointMatrix(), Average)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cut(0) did not panic")
+		}
+	}()
+	d.Cut(0)
+}
+
+// Property-style test: on random data every dendrogram covers each item
+// exactly once at every cut level.
+func TestDendrogramPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		vs := make([]vector.Vector, n)
+		for i := range vs {
+			v := vector.New(6)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			vs[i] = v
+		}
+		d := AgglomerativeVectors(vs, Average)
+		for k := 1; k <= n; k++ {
+			seen := make(map[int]int)
+			for _, c := range d.Cut(k) {
+				for _, item := range c {
+					seen[item]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("cut %d covers %d/%d items", k, len(seen), n)
+			}
+			for item, cnt := range seen {
+				if cnt != 1 {
+					t.Fatalf("cut %d assigns item %d to %d clusters", k, item, cnt)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Average.String() != "average" || Complete.String() != "complete" || Single.String() != "single" {
+		t.Error("linkage names wrong")
+	}
+	if Linkage(99).String() == "" {
+		t.Error("unknown linkage empty")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func exactEvaluator(t *testing.T, o *Org) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(o, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestEvaluatorMatchesDirectComputation(t *testing.T) {
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	if got, want := ev.Effectiveness(), o.Effectiveness(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("evaluator eff %v != direct %v", got, want)
+	}
+	probs := o.AttrDiscoveryProbs()
+	for i := range o.Attrs() {
+		if math.Abs(ev.AttrProb(i)-probs[i]) > 1e-12 {
+			t.Errorf("attr %d prob %v != direct %v", i, ev.AttrProb(i), probs[i])
+		}
+	}
+}
+
+func TestMeanReachRoot(t *testing.T) {
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	mr := ev.MeanReach()
+	if math.Abs(mr[o.Root]-1) > 1e-12 {
+		t.Errorf("root mean reach = %v", mr[o.Root])
+	}
+	for id, r := range mr {
+		if r < -1e-12 || r > 1+1e-12 {
+			t.Errorf("state %d mean reach %v out of range", id, r)
+		}
+	}
+}
+
+// applyRandomOp applies one applicable operation, preferring variety by
+// round, and returns the change set and undo log, or false if nothing
+// applied.
+func applyRandomOp(o *Org, rng *rand.Rand) (*ChangeSet, *UndoLog, bool) {
+	type candidate struct {
+		apply func() *UndoLog
+	}
+	var cands []candidate
+	for _, s := range o.States {
+		if s.deleted {
+			continue
+		}
+		sid := s.ID
+		if s.Kind != KindLeaf {
+			for _, n := range o.States {
+				if n.Kind == KindInterior && !n.deleted && o.CanAddParent(n.ID, sid) {
+					nid := n.ID
+					cands = append(cands, candidate{func() *UndoLog { return o.AddParentOp(nid, sid) }})
+					break
+				}
+			}
+			for _, p := range s.Parents {
+				if o.CanDeleteParent(sid, p) {
+					pid := p
+					cands = append(cands, candidate{func() *UndoLog { return o.DeleteParentOp(sid, pid) }})
+					break
+				}
+			}
+		} else {
+			for _, ts := range o.TagStates() {
+				if o.CanAddParent(ts, sid) {
+					tid := ts
+					cands = append(cands, candidate{func() *UndoLog { return o.AddLeafParentOp(tid, sid) }})
+					break
+				}
+			}
+			for _, p := range s.Parents {
+				if o.CanRemoveLeafParent(p, sid) {
+					pid := p
+					cands = append(cands, candidate{func() *UndoLog { return o.RemoveLeafParentOp(pid, sid) }})
+					break
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil, false
+	}
+	pick := cands[rng.Intn(len(cands))]
+	cs := o.BeginChanges()
+	u := pick.apply()
+	o.EndChanges()
+	return cs, u, true
+}
+
+// The central correctness property of the incremental evaluator: after
+// any committed operation, its cached effectiveness equals a from-scratch
+// exact evaluation of the mutated organization.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	for step := 0; step < 25; step++ {
+		cs, _, ok := applyRandomOp(o, rng)
+		if !ok {
+			break
+		}
+		got := ev.Reevaluate(cs)
+		ev.Commit()
+		fresh := exactEvaluator(t, o)
+		if math.Abs(got-fresh.Effectiveness()) > 1e-9 {
+			t.Fatalf("step %d: incremental eff %v != fresh %v", step, got, fresh.Effectiveness())
+		}
+		for i := range o.Attrs() {
+			if math.Abs(ev.AttrProb(i)-fresh.AttrProb(i)) > 1e-9 {
+				t.Fatalf("step %d attr %d: incremental %v != fresh %v",
+					step, i, ev.AttrProb(i), fresh.AttrProb(i))
+			}
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// Rollback must restore both the organization (via Undo) and the
+// evaluator caches exactly.
+func TestRollbackRestoresExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	for step := 0; step < 20; step++ {
+		effBefore := ev.Effectiveness()
+		probsBefore := make([]float64, len(o.Attrs()))
+		for i := range probsBefore {
+			probsBefore[i] = ev.AttrProb(i)
+		}
+		reachBefore := ev.MeanReach()
+
+		cs, u, ok := applyRandomOp(o, rng)
+		if !ok {
+			break
+		}
+		ev.Reevaluate(cs)
+		o.Undo(u)
+		ev.Rollback()
+
+		if math.Abs(ev.Effectiveness()-effBefore) > 1e-12 {
+			t.Fatalf("step %d: eff %v != %v after rollback", step, ev.Effectiveness(), effBefore)
+		}
+		for i := range probsBefore {
+			if math.Abs(ev.AttrProb(i)-probsBefore[i]) > 1e-12 {
+				t.Fatalf("step %d: attr %d prob drifted", step, i)
+			}
+		}
+		reachAfter := ev.MeanReach()
+		for id := range reachBefore {
+			if math.Abs(reachBefore[id]-reachAfter[id]) > 1e-12 {
+				t.Fatalf("step %d: state %d reach drifted", step, id)
+			}
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestEvaluatorPruningCountsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	for step := 0; step < 10; step++ {
+		cs, _, ok := applyRandomOp(o, rng)
+		if !ok {
+			break
+		}
+		ev.Reevaluate(cs)
+		ev.Commit()
+		if ev.LastStatesVisited > ev.TotalStates()+len(cs.Eliminated) {
+			t.Errorf("step %d: visited %d of %d states", step, ev.LastStatesVisited, ev.TotalStates())
+		}
+		if ev.LastAttrsVisited > ev.TotalAttrs() {
+			t.Errorf("step %d: visited %d of %d attrs", step, ev.LastAttrsVisited, ev.TotalAttrs())
+		}
+	}
+}
+
+func TestRepresentativeSelection(t *testing.T) {
+	o := clusteredOrg(t)
+	rng := rand.New(rand.NewSource(29))
+	ev, err := NewEvaluator(o, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(o.Attrs())
+	queries := ev.Queries()
+	if len(queries) >= n || len(queries) < 1 {
+		t.Fatalf("rep count = %d over %d attrs", len(queries), n)
+	}
+	// Every attribute must belong to exactly one representative.
+	covered := make(map[int]bool)
+	total := 0
+	for qi, q := range queries {
+		if len(q.Members) == 0 {
+			t.Errorf("query %d has no members", qi)
+		}
+		total += len(q.Members)
+	}
+	if total != n {
+		t.Errorf("members cover %d of %d attrs", total, n)
+	}
+	_ = covered
+	// Approximate effectiveness is within [0, 1] and not absurdly far
+	// from exact on this tiny lake.
+	exact := exactEvaluator(t, o)
+	if d := math.Abs(ev.Effectiveness() - exact.Effectiveness()); d > 0.5 {
+		t.Errorf("approx eff %v too far from exact %v", ev.Effectiveness(), exact.Effectiveness())
+	}
+}
+
+func TestApproximateEvaluatorNeedsRNG(t *testing.T) {
+	o := clusteredOrg(t)
+	if _, err := NewEvaluator(o, 0.5, nil); err == nil {
+		t.Error("nil rng accepted in approximate mode")
+	}
+}
+
+func TestReevaluateDoubleCommitPanics(t *testing.T) {
+	o := clusteredOrg(t)
+	ev := exactEvaluator(t, o)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Commit without Reevaluate did not panic")
+		}
+	}()
+	ev.Commit()
+}

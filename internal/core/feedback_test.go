@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lakenav/vector"
+)
+
+func feedbackOrg(t *testing.T) *Org {
+	t.Helper()
+	l := testLake(t)
+	o, err := NewFlat(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewFeedbackValidation(t *testing.T) {
+	o := feedbackOrg(t)
+	if _, err := NewFeedback(o, 0); err == nil {
+		t.Error("zero prior accepted")
+	}
+	if _, err := NewFeedback(o, -1); err == nil {
+		t.Error("negative prior accepted")
+	}
+}
+
+func TestFeedbackNoObservationsMatchesModel(t *testing.T) {
+	o := feedbackOrg(t)
+	f, err := NewFeedback(o, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := vector.Vector{1, 0, 0, 0}
+	model := o.TransitionProbs(o.Root, topic)
+	blended := f.TransitionProbs(o.Root, topic)
+	for i := range model {
+		if math.Abs(model[i]-blended[i]) > 1e-12 {
+			t.Fatalf("blended[%d] = %v, model %v without observations", i, blended[i], model[i])
+		}
+	}
+}
+
+func TestFeedbackShiftsTowardObservations(t *testing.T) {
+	o := feedbackOrg(t)
+	f, err := NewFeedback(o, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := vector.Vector{1, 0, 0, 0}
+	root := o.State(o.Root)
+	// Hammer the last child (whatever it is).
+	target := root.Children[len(root.Children)-1]
+	for i := 0; i < 100; i++ {
+		if err := f.Observe(o.Root, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := o.TransitionProbs(o.Root, topic)
+	blended := f.TransitionProbs(o.Root, topic)
+	var ti int
+	for i, c := range root.Children {
+		if c == target {
+			ti = i
+		}
+	}
+	if blended[ti] <= model[ti] {
+		t.Errorf("observed child prob %v not above model %v", blended[ti], model[ti])
+	}
+	if blended[ti] < 0.9 {
+		t.Errorf("100 observations vs prior 5 should dominate: %v", blended[ti])
+	}
+	// Distribution still sums to 1.
+	var sum float64
+	for _, p := range blended {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("blended distribution sums to %v", sum)
+	}
+}
+
+func TestFeedbackObserveValidatesEdges(t *testing.T) {
+	o := feedbackOrg(t)
+	f, _ := NewFeedback(o, 1)
+	leaf := o.Leaf(o.Attrs()[0])
+	if err := f.Observe(leaf, o.Root); err == nil {
+		t.Error("nonexistent edge accepted")
+	}
+}
+
+func TestFeedbackObservePath(t *testing.T) {
+	o := feedbackOrg(t)
+	f, _ := NewFeedback(o, 1)
+	topic := vector.Vector{1, 0, 0, 0}
+	path := o.Walk(topic, rand.New(rand.NewSource(1)))
+	if err := f.ObservePath(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Observations(); got != float64(len(path)-1) {
+		t.Errorf("Observations = %v, want %d", got, len(path)-1)
+	}
+}
+
+func TestFeedbackDecay(t *testing.T) {
+	o := feedbackOrg(t)
+	f, _ := NewFeedback(o, 1)
+	target := o.State(o.Root).Children[0]
+	for i := 0; i < 8; i++ {
+		f.Observe(o.Root, target)
+	}
+	f.Decay(0.5)
+	if got := f.Observations(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Observations after decay = %v, want 4", got)
+	}
+	// Decaying to nothing clears rows entirely.
+	for i := 0; i < 40; i++ {
+		f.Decay(0.1)
+	}
+	if f.Observations() != 0 {
+		t.Errorf("Observations after heavy decay = %v", f.Observations())
+	}
+	// Back to pure model.
+	topic := vector.Vector{0, 1, 0, 0}
+	model := o.TransitionProbs(o.Root, topic)
+	blended := f.TransitionProbs(o.Root, topic)
+	for i := range model {
+		if math.Abs(model[i]-blended[i]) > 1e-12 {
+			t.Fatal("decayed feedback does not match model")
+		}
+	}
+}
+
+func TestFeedbackDecayValidation(t *testing.T) {
+	o := feedbackOrg(t)
+	f, _ := NewFeedback(o, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decay(0) did not panic")
+		}
+	}()
+	f.Decay(0)
+}
+
+func TestFeedbackReachProbs(t *testing.T) {
+	l := testLake(t)
+	o, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFeedback(o, 2)
+	topic := vector.Vector{1, 0, 0, 0}
+	base := o.ReachProbs(topic)
+	blended := f.ReachProbs(topic)
+	for id := range base {
+		if math.Abs(base[id]-blended[id]) > 1e-12 {
+			t.Fatal("unobserved feedback reach differs from model reach")
+		}
+	}
+	// Steer all mass at the root toward one child; its subtree's reach
+	// must rise.
+	root := o.State(o.Root)
+	target := root.Children[0]
+	for i := 0; i < 200; i++ {
+		f.Observe(o.Root, target)
+	}
+	blended = f.ReachProbs(topic)
+	if o.State(target).Kind != KindLeaf && blended[target] <= base[target] {
+		t.Errorf("steered child reach %v not above base %v", blended[target], base[target])
+	}
+}
+
+func TestFeedbackEffectivenessMatchesModelUnobserved(t *testing.T) {
+	l := testLake(t)
+	o, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFeedback(o, 3)
+	if a, b := f.Effectiveness(), o.Effectiveness(); math.Abs(a-b) > 1e-12 {
+		t.Errorf("unobserved feedback eff %v != model %v", a, b)
+	}
+}
+
+// Observed counts are per-edge, not per-intent, so concentrated usage
+// toward one attribute raises that attribute's blended discovery
+// probability — at the expense of intents the traffic ignores. This is
+// the Dirichlet blending behaving as designed.
+func TestFeedbackConcentratedUsageBoostsTarget(t *testing.T) {
+	l := testLake(t)
+	o, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFeedback(o, 1)
+	target := o.Attrs()[0]
+	topic := o.State(o.Leaf(target)).Topic()
+	base := o.LeafProb(target, topic, o.ReachProbs(topic))
+	// All traffic walks greedily to the target and its leaf.
+	for rep := 0; rep < 50; rep++ {
+		path := o.Walk(topic, nil)
+		if path[len(path)-1] != o.Leaf(target) {
+			// Greedy walk may end at a different leaf; force the exact
+			// path by observing the leaf edge from its tag parent.
+			f.ObservePath(path[:len(path)-1])
+			tagParent := o.State(o.Leaf(target)).Parents[0]
+			if o.hasEdge(tagParent, o.Leaf(target)) {
+				f.Observe(tagParent, o.Leaf(target))
+			}
+			continue
+		}
+		if err := f.ObservePath(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := f.LeafProb(target, topic, f.ReachProbs(topic))
+	if got <= base {
+		t.Errorf("concentrated usage leaf prob %v not above model %v", got, base)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lakenav/internal/lake"
+)
+
+func TestImportRoundTrip(t *testing.T) {
+	o := clusteredOrg(t)
+	// Mutate a bit so the snapshot is not just the initial build.
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 5; i++ {
+		applyRandomOp(o, rng)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOrg(o.Lake, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.LiveStates() != o.LiveStates() {
+		t.Errorf("states = %d, want %d", got.LiveStates(), o.LiveStates())
+	}
+	if len(got.Attrs()) != len(o.Attrs()) {
+		t.Errorf("attrs = %d, want %d", len(got.Attrs()), len(o.Attrs()))
+	}
+	// The navigation model must behave identically: effectiveness and
+	// every attribute's discovery probability match.
+	if a, b := o.Effectiveness(), got.Effectiveness(); math.Abs(a-b) > 1e-9 {
+		t.Errorf("effectiveness %v != %v after import", b, a)
+	}
+	wantProbs := o.AttrDiscoveryProbs()
+	gotProbs := got.AttrDiscoveryProbs()
+	for i := range wantProbs {
+		if math.Abs(wantProbs[i]-gotProbs[i]) > 1e-9 {
+			t.Fatalf("attr %d prob %v != %v", i, gotProbs[i], wantProbs[i])
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	o := clusteredOrg(t)
+	if _, err := ReadOrg(o.Lake, bytes.NewReader([]byte("{nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	o := clusteredOrg(t)
+	base := o.Export()
+
+	// Unknown attribute.
+	bad := *base
+	bad.States = append([]ExportedState(nil), base.States...)
+	for i := range bad.States {
+		if bad.States[i].Kind == "leaf" {
+			bad.States[i].Attr = "no_such.attr"
+			break
+		}
+	}
+	if _, err := Import(o.Lake, &bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+
+	// Unknown root.
+	bad2 := *base
+	bad2.Root = 99999
+	if _, err := Import(o.Lake, &bad2); err == nil {
+		t.Error("unknown root accepted")
+	}
+
+	// Cycle.
+	bad3 := *base
+	bad3.States = append([]ExportedState(nil), base.States...)
+	// Make the root a child of one of its children.
+	for i := range bad3.States {
+		if bad3.States[i].ID != base.Root && bad3.States[i].Kind == "interior" {
+			bad3.States[i].Children = append(bad3.States[i].Children, base.Root)
+			break
+		}
+	}
+	if _, err := Import(o.Lake, &bad3); err == nil {
+		t.Error("cycle accepted")
+	}
+
+	// Bad gamma.
+	bad4 := *base
+	bad4.Gamma = 0
+	if _, err := Import(o.Lake, &bad4); err == nil {
+		t.Error("zero gamma accepted")
+	}
+}
+
+func TestImportNeedsTopics(t *testing.T) {
+	o := clusteredOrg(t)
+	ex := o.Export()
+	fresh := freshLakeWithoutTopics(t)
+	if _, err := Import(fresh, ex); err == nil {
+		t.Error("lake without topics accepted")
+	}
+}
+
+// freshLakeWithoutTopics builds a lake whose ComputeTopics has not run.
+func freshLakeWithoutTopics(t *testing.T) *lake.Lake {
+	t.Helper()
+	l := lake.New()
+	l.AddTable("t", []string{"x"}, lake.AttrSpec{Name: "a", Values: []string{"word"}})
+	return l
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lakenav/internal/cluster"
+	"lakenav/internal/lake"
+	"lakenav/vector"
+)
+
+// MultiDim is a k-dimensional organization (Sec 2.5): tags are
+// partitioned into groups and each group gets its own organization. A
+// table is discovered in the multi-dimensional organization when it is
+// discovered in any dimension (Eq 8).
+type MultiDim struct {
+	Lake *lake.Lake
+	Orgs []*Org
+	// TagGroups[i] lists the tags of dimension i.
+	TagGroups [][]string
+}
+
+// MultiDimConfig controls multi-dimensional construction.
+type MultiDimConfig struct {
+	// K is the number of dimensions. The paper uses k-medoids over tag
+	// topic vectors to form the groups (Sec 4.3.4).
+	K int
+	// Build configures per-dimension construction (Gamma, Linkage).
+	Build BuildConfig
+	// Optimize configures the per-dimension local search. A nil value
+	// skips optimization (dimensions stay as clustered hierarchies).
+	Optimize *OptimizeConfig
+	// Seed drives tag clustering; per-dimension searches derive their
+	// seeds from it.
+	Seed int64
+	// Parallel optimizes dimensions concurrently, as the paper does
+	// ("dimensions are optimized independently and in parallel").
+	Parallel bool
+}
+
+// BuildMultiDim partitions the lake's organizable tags into cfg.K groups
+// with k-medoids over tag topic vectors, builds a clustered organization
+// per group, and (optionally) optimizes each. It returns the
+// organization and per-dimension search stats (nil entries when
+// optimization is skipped).
+func BuildMultiDim(l *lake.Lake, cfg MultiDimConfig) (*MultiDim, []*OptimizeStats, error) {
+	if cfg.K < 1 {
+		return nil, nil, fmt.Errorf("core: multidim K must be >= 1, got %d", cfg.K)
+	}
+	if l.Dim() == 0 {
+		return nil, nil, fmt.Errorf("core: lake topics not computed")
+	}
+
+	// Organizable tags: those with embeddable text attributes.
+	baseTags := cfg.Build.Tags
+	if baseTags == nil {
+		baseTags = l.Tags()
+	}
+	var tags []string
+	var topics []vector.Vector
+	for _, tag := range baseTags {
+		any := false
+		for _, a := range l.TextTagAttrs(tag) {
+			if l.Attr(a).EmbCount > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		if tv, ok := l.TagTopic(tag); ok {
+			tags = append(tags, tag)
+			topics = append(topics, tv)
+		}
+	}
+	if len(tags) == 0 {
+		return nil, nil, fmt.Errorf("core: no organizable tags")
+	}
+
+	k := cfg.K
+	if k > len(tags) {
+		k = len(tags)
+	}
+	var groups [][]string
+	if k == 1 {
+		groups = [][]string{tags}
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		res, err := cluster.KMedoidsVectors(topics, k, rng, 100)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: tag clustering: %w", err)
+		}
+		groups = make([][]string, k)
+		for i, c := range res.Assign {
+			groups[c] = append(groups[c], tags[i])
+		}
+	}
+	// Drop empty groups (k-medoids can starve a cluster).
+	var nonEmpty [][]string
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty = append(nonEmpty, g)
+		}
+	}
+	groups = nonEmpty
+
+	m := &MultiDim{Lake: l, Orgs: make([]*Org, len(groups)), TagGroups: groups}
+	stats := make([]*OptimizeStats, len(groups))
+	errs := make([]error, len(groups))
+
+	buildOne := func(i int) {
+		bc := cfg.Build
+		bc.Tags = groups[i]
+		o, err := NewClustered(l, bc)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
+			return
+		}
+		if cfg.Optimize != nil {
+			oc := *cfg.Optimize
+			oc.Seed = cfg.Seed + int64(i)*7919
+			st, err := Optimize(o, oc)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: dimension %d optimize: %w", i, err)
+				return
+			}
+			stats[i] = st
+		}
+		m.Orgs[i] = o
+	}
+
+	if cfg.Parallel && len(groups) > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(groups) {
+			workers = len(groups)
+		}
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					buildOne(i)
+				}
+			}()
+		}
+		for i := range groups {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for i := range groups {
+			buildOne(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, stats, nil
+}
+
+// AttrProbs returns P(A|M) for every attribute reachable in any
+// dimension: 1 − ∏_i (1 − P(A|O_i)) (the per-attribute form of Eq 8).
+func (m *MultiDim) AttrProbs() map[lake.AttrID]float64 {
+	fail := make(map[lake.AttrID]float64)
+	for _, o := range m.Orgs {
+		probs := o.AttrDiscoveryProbs()
+		for i, a := range o.Attrs() {
+			f, ok := fail[a]
+			if !ok {
+				f = 1
+			}
+			fail[a] = f * (1 - probs[i])
+		}
+	}
+	out := make(map[lake.AttrID]float64, len(fail))
+	for a, f := range fail {
+		out[a] = 1 - f
+	}
+	return out
+}
+
+// TableProb returns P(T|M) (Eq 8) from precomputed AttrProbs.
+func (m *MultiDim) TableProb(t *lake.Table, attrProbs map[lake.AttrID]float64) float64 {
+	fail := 1.0
+	for _, a := range t.Attrs {
+		if p, ok := attrProbs[a]; ok {
+			fail *= 1 - p
+		}
+	}
+	return 1 - fail
+}
+
+// Effectiveness returns the mean P(T|M) over the lake's tables.
+func (m *MultiDim) Effectiveness() float64 {
+	if len(m.Lake.Tables) == 0 {
+		return 0
+	}
+	probs := m.AttrProbs()
+	var sum float64
+	for _, t := range m.Lake.Tables {
+		sum += m.TableProb(t, probs)
+	}
+	return sum / float64(len(m.Lake.Tables))
+}

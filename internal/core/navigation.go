@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"lakenav/internal/lake"
+	"lakenav/vector"
+)
+
+// childTransitions returns P(c|s, X, O) for every child of s, parallel
+// to s.Children (Eq 1): a softmax over children with logit
+// (γ/|ch(s)|)·cos(μ_c, μ_X). The |ch(s)| penalty makes large branching
+// factors wash out topic signal, which is what drives the model away
+// from flat organizations.
+func (o *Org) childTransitions(s StateID, topic vector.Vector) []float64 {
+	children := o.States[s].Children
+	if len(children) == 0 {
+		return nil
+	}
+	probs := make([]float64, len(children))
+	scale := o.Gamma / float64(len(children))
+	maxLogit := math.Inf(-1)
+	for i, c := range children {
+		probs[i] = scale * vector.Cosine(o.States[c].topic, topic)
+		if probs[i] > maxLogit {
+			maxLogit = probs[i]
+		}
+	}
+	var sum float64
+	for i := range probs {
+		probs[i] = math.Exp(probs[i] - maxLogit)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// TransitionProbs is the exported form of childTransitions for callers
+// outside the optimizer (navigation UIs, the user-study simulator).
+func (o *Org) TransitionProbs(s StateID, topic vector.Vector) []float64 {
+	return o.childTransitions(s, topic)
+}
+
+// ReachProbs computes P(s|X, O) (Eq 2–4) for every live non-leaf state
+// reachable from the root, indexed by StateID (leaves and unreachable
+// states hold 0). One topological sweep: each state's reach mass is
+// pushed to its children through the transition softmax.
+//
+// Leaf reach is intentionally not computed here: only the query
+// attribute's own leaf is ever needed, and tag states can have very
+// many leaf children (the paper notes the algorithm has no control over
+// the lowest-level branching factor); use LeafProb for it.
+func (o *Org) ReachProbs(topic vector.Vector) []float64 {
+	reach := make([]float64, len(o.States))
+	reach[o.Root] = 1
+	for _, id := range o.Topo() {
+		s := o.States[id]
+		if s.Kind == KindLeaf || reach[id] == 0 {
+			continue
+		}
+		if s.Kind == KindTag {
+			// Children are leaves; no propagation needed.
+			continue
+		}
+		probs := o.childTransitions(id, topic)
+		for i, c := range s.Children {
+			if o.States[c].Kind != KindLeaf {
+				reach[c] += reach[id] * probs[i]
+			}
+		}
+	}
+	return reach
+}
+
+// LeafProb returns the discovery probability of attribute a under query
+// topic, given reach probabilities from ReachProbs over the same topic:
+// the reach mass of a's tag-state parents times the leaf-level
+// transition probabilities (Definition 1).
+func (o *Org) LeafProb(a lake.AttrID, topic vector.Vector, reach []float64) float64 {
+	leaf, ok := o.leafOf[a]
+	if !ok {
+		return 0
+	}
+	var p float64
+	for _, t := range o.States[leaf].Parents {
+		if reach[t] == 0 {
+			continue
+		}
+		probs := o.childTransitions(t, topic)
+		for i, c := range o.States[t].Children {
+			if c == leaf {
+				p += reach[t] * probs[i]
+				break
+			}
+		}
+	}
+	return p
+}
+
+// DiscoveryProb returns P(A|O): the probability that a user whose query
+// topic is attribute a's own topic vector reaches a's leaf. This is the
+// exact quantity the organization problem maximizes the table-level
+// aggregate of (Definitions 1–3).
+func (o *Org) DiscoveryProb(a lake.AttrID) float64 {
+	leaf, ok := o.leafOf[a]
+	if !ok {
+		return 0
+	}
+	topic := o.States[leaf].topic
+	return o.LeafProb(a, topic, o.ReachProbs(topic))
+}
+
+// AttrDiscoveryProbs returns P(A|O) for every organized attribute,
+// parallel to Attrs(). This is the exact (non-approximate, non-pruned)
+// evaluation; the optimizer uses the incremental evaluator instead.
+func (o *Org) AttrDiscoveryProbs() []float64 {
+	out := make([]float64, len(o.attrs))
+	for i, a := range o.attrs {
+		out[i] = o.DiscoveryProb(a)
+	}
+	return out
+}
+
+// TableProb returns P(T|O) (Eq 5) given per-attribute discovery
+// probabilities indexed like Attrs(); attrs outside the organization
+// contribute nothing.
+func (o *Org) TableProb(t *lake.Table, attrProbs []float64) float64 {
+	idx := o.attrIndex()
+	fail := 1.0
+	for _, a := range t.Attrs {
+		if i, ok := idx[a]; ok {
+			fail *= 1 - attrProbs[i]
+		}
+	}
+	return 1 - fail
+}
+
+// attrIndex maps organized attribute IDs to their position in Attrs().
+func (o *Org) attrIndex() map[lake.AttrID]int {
+	if o.attrIdx == nil {
+		o.attrIdx = make(map[lake.AttrID]int, len(o.attrs))
+		for i, a := range o.attrs {
+			o.attrIdx[a] = i
+		}
+	}
+	return o.attrIdx
+}
+
+// Effectiveness returns P(T|O) averaged over the lake's tables (Eq 6),
+// computed exactly. Tables with no organized attribute contribute 0,
+// matching the paper's observation that single-attribute, single-tag
+// tables stay hard to discover.
+func (o *Org) Effectiveness() float64 {
+	probs := o.AttrDiscoveryProbs()
+	var sum float64
+	for _, t := range o.Lake.Tables {
+		sum += o.TableProb(t, probs)
+	}
+	if len(o.Lake.Tables) == 0 {
+		return 0
+	}
+	return sum / float64(len(o.Lake.Tables))
+}
+
+// Walk simulates one navigation session: starting at the root, sample a
+// child per the transition model until a leaf is reached. It returns
+// the visited states, root first, leaf last. The rng makes sessions
+// reproducible; a nil rng takes the most probable child at every step.
+func (o *Org) Walk(topic vector.Vector, rng *rand.Rand) []StateID {
+	path := []StateID{o.Root}
+	cur := o.Root
+	for {
+		s := o.States[cur]
+		if len(s.Children) == 0 {
+			return path
+		}
+		probs := o.childTransitions(cur, topic)
+		var next StateID
+		if rng == nil {
+			best, bp := 0, -1.0
+			for i, p := range probs {
+				if p > bp {
+					bp, best = p, i
+				}
+			}
+			next = s.Children[best]
+		} else {
+			u := rng.Float64()
+			acc := 0.0
+			next = s.Children[len(s.Children)-1]
+			for i, p := range probs {
+				acc += p
+				if u <= acc {
+					next = s.Children[i]
+					break
+				}
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+}

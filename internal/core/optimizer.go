@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"lakenav/vector"
+)
+
+// OptimizeConfig controls the local search of Sec 3.3–3.4.
+type OptimizeConfig struct {
+	// RepFraction in (0, 1) enables the representative approximation at
+	// that fraction of attributes (the paper uses 0.10); other values
+	// evaluate exactly.
+	RepFraction float64
+	// MaxIterations caps the number of proposed operations. Zero means
+	// 2000.
+	MaxIterations int
+	// Window is the plateau length: the search stops after this many
+	// consecutive proposals without significant improvement (the paper
+	// uses 50). Zero means 50.
+	Window int
+	// MinRelImprovement is the relative effectiveness gain that counts
+	// as significant. Zero means 1e-3.
+	MinRelImprovement float64
+	// LeafProposals bounds how many lowest-reachability leaves get a
+	// proposal per traversal; leaf ops mirror metadata enrichment and
+	// are the most numerous states, so they are sampled. Zero means 25;
+	// negative disables leaf proposals.
+	LeafProposals int
+	// AcceptExponent controls the downhill-acceptance rule. Negative
+	// (the default) is greedy: only non-worsening operations are
+	// accepted. Positive values accept a worse organization with
+	// probability (P(T|O')/P(T|O))^AcceptExponent, so 1 is the paper's
+	// Eq 9 Metropolis rule. We measured Eq 9 to be too hot on every
+	// workload we generate: near-neutral downhill moves (ratio ~0.95)
+	// vastly outnumber uphill ones and are accepted ~95% of the time, so
+	// the walk erodes the organization faster than it improves it and
+	// the best-seen state is simply the starting point. The acceptance
+	// ablation bench sweeps this knob; greedy wins everywhere we tried.
+	AcceptExponent float64
+	// Seed drives proposal and acceptance randomness.
+	Seed int64
+}
+
+func (c *OptimizeConfig) defaults() {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 2000
+	}
+	if c.Window == 0 {
+		c.Window = 50
+	}
+	if c.MinRelImprovement == 0 {
+		c.MinRelImprovement = 1e-3
+	}
+	if c.LeafProposals == 0 {
+		c.LeafProposals = 25
+	}
+	if c.AcceptExponent == 0 {
+		c.AcceptExponent = -1 // greedy
+	}
+}
+
+// OptimizeStats reports what the search did; the per-iteration visit
+// fractions feed the Figure 3 experiment.
+type OptimizeStats struct {
+	Iterations int
+	Accepted   int
+	Rejected   int
+	InitialEff float64
+	FinalEff   float64
+	Duration   time.Duration
+	// StatesVisitedFrac[i] is the fraction of live non-leaf states
+	// re-evaluated at iteration i (pruning effectiveness, Fig 3b).
+	StatesVisitedFrac []float64
+	// AttrsVisitedFrac[i] is the fraction of organized attributes whose
+	// discovery probability was re-evaluated at iteration i (Fig 3a).
+	AttrsVisitedFrac []float64
+}
+
+// Optimize runs the local search on org in place: repeated downward
+// traversals propose ADD_PARENT / DELETE_PARENT modifications on states
+// ordered from lowest to highest reachability, accepted by the
+// Metropolis rule of Eq 9, until the effectiveness plateaus.
+func Optimize(org *Org, cfg OptimizeConfig) (*OptimizeStats, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ev, err := NewEvaluator(org, cfg.RepFraction, rng)
+	if err != nil {
+		return nil, err
+	}
+	return optimizeWithEvaluator(org, ev, cfg, rng)
+}
+
+func optimizeWithEvaluator(org *Org, ev *Evaluator, cfg OptimizeConfig, rng *rand.Rand) (*OptimizeStats, error) {
+	start := time.Now()
+	stats := &OptimizeStats{InitialEff: ev.Effectiveness()}
+	best := ev.Effectiveness()
+	sinceImprove := 0
+	// Eq 9 accepts mildly-downhill moves with probability equal to the
+	// effectiveness ratio, so the walk can drift away from good
+	// organizations (a DELETE_PARENT cascade is hard to rebuild). The
+	// returned organization is the best one seen: accepted-but-not-
+	// improving operations are logged and unwound at termination.
+	bestEff := best
+	var sinceBest []*UndoLog
+
+	done := func() bool {
+		return stats.Iterations >= cfg.MaxIterations || sinceImprove >= cfg.Window
+	}
+
+	for !done() {
+		proposedThisTraversal := 0
+		// One downward traversal: states grouped by level, lowest
+		// reachability first within each level.
+		meanReach := ev.MeanReach()
+		levels := org.Levels()
+		byLevel := make(map[int][]StateID)
+		maxLevel := 0
+		for _, s := range org.States {
+			if s.deleted || s.ID == org.Root {
+				continue
+			}
+			l := levels[s.ID]
+			if l < 0 {
+				continue
+			}
+			byLevel[l] = append(byLevel[l], s.ID)
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+		for l := 1; l <= maxLevel && !done(); l++ {
+			states := byLevel[l]
+			sort.Slice(states, func(i, j int) bool {
+				if meanReach[states[i]] != meanReach[states[j]] {
+					return meanReach[states[i]] < meanReach[states[j]]
+				}
+				return states[i] < states[j]
+			})
+			leafBudget := cfg.LeafProposals
+			for _, sid := range states {
+				if done() {
+					break
+				}
+				s := org.State(sid)
+				if s.deleted {
+					continue // eliminated earlier in this traversal
+				}
+				if s.Kind == KindLeaf {
+					if leafBudget <= 0 {
+						continue
+					}
+					if ev.Approximate() && ev.IsRepresentativeLeaf(sid) {
+						// A leaf op on a representative's own leaf is
+						// booked for all its members — a systematic
+						// overestimate; see IsRepresentativeLeaf.
+						continue
+					}
+					leafBudget--
+				}
+				undo, accepted, proposed := proposeAndDecide(org, ev, sid, levels, meanReach, rng, cfg.AcceptExponent)
+				if !proposed {
+					continue
+				}
+				proposedThisTraversal++
+				stats.Iterations++
+				stats.StatesVisitedFrac = append(stats.StatesVisitedFrac,
+					frac(ev.LastStatesVisited, ev.TotalStates()))
+				stats.AttrsVisitedFrac = append(stats.AttrsVisitedFrac,
+					frac(ev.LastAttrsVisited, ev.TotalAttrs()))
+				if accepted {
+					stats.Accepted++
+				} else {
+					stats.Rejected++
+				}
+				eff := ev.Effectiveness()
+				if accepted {
+					if eff > bestEff {
+						bestEff = eff
+						sinceBest = sinceBest[:0]
+					} else {
+						sinceBest = append(sinceBest, undo)
+					}
+				}
+				if eff > best*(1+cfg.MinRelImprovement) {
+					best = eff
+					sinceImprove = 0
+				} else {
+					sinceImprove++
+				}
+				// Structure may have changed; stale levels within a
+				// traversal are tolerable (they only guide candidate
+				// choice), and reachability is refreshed per traversal.
+			}
+		}
+		if proposedThisTraversal == 0 {
+			// No applicable operation anywhere: a fixed point.
+			break
+		}
+	}
+
+	// Unwind to the best organization seen.
+	for i := len(sinceBest) - 1; i >= 0; i-- {
+		org.Undo(sinceBest[i])
+	}
+	stats.FinalEff = bestEff
+	stats.Duration = time.Since(start)
+	if err := orgSane(org); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// orgSane is a cheap post-search invariant check (full Validate is
+// O(V·|D|) and reserved for tests).
+func orgSane(o *Org) error {
+	if o.States[o.Root].deleted {
+		return fmt.Errorf("core: optimizer deleted the root")
+	}
+	o.Topo() // panics on cycle
+	return nil
+}
+
+// proposeAndDecide proposes candidate operations for state sid,
+// evaluates each with the pruned incremental evaluator, keeps the best,
+// and accepts or rejects it by Eq 9. Evaluating a small candidate set
+// instead of a single argmax-reachability pick is what makes the walk
+// find the (numerous but individually small) improving moves; the
+// candidate set still consists solely of the paper's two operations.
+// It returns the applied operation's undo log when accepted, and
+// reports (accepted, proposed).
+func proposeAndDecide(org *Org, ev *Evaluator, sid StateID, levels []int, meanReach []float64, rng *rand.Rand, acceptExp float64) (*UndoLog, bool, bool) {
+	candidates := pickOperations(org, sid, levels, meanReach, rng)
+	if len(candidates) == 0 {
+		return nil, false, false
+	}
+	oldEff := ev.Effectiveness()
+
+	// Trial-evaluate every candidate, remembering the best. The visit
+	// counters reported for the iteration are those of the chosen
+	// candidate — the quantity Figure 3 tracks is how much of the
+	// organization one modification forces the evaluator to touch.
+	bestIdx, bestEff := -1, -1.0
+	statesVisited, attrsVisited := 0, 0
+	for i, apply := range candidates {
+		cs := org.BeginChanges()
+		undo := apply()
+		org.EndChanges()
+		eff := ev.Reevaluate(cs)
+		if eff > bestEff {
+			bestEff, bestIdx = eff, i
+			statesVisited, attrsVisited = ev.LastStatesVisited, ev.LastAttrsVisited
+		}
+		org.Undo(undo)
+		ev.Rollback()
+	}
+	ev.LastStatesVisited = statesVisited
+	ev.LastAttrsVisited = attrsVisited
+
+	accept := bestEff >= oldEff
+	if !accept && acceptExp > 0 && oldEff > 0 {
+		accept = rng.Float64() < math.Pow(bestEff/oldEff, acceptExp)
+	}
+	if debugOptimizer {
+		fmt.Printf("debug: state %d kind %v cands %d old %.6f best %.6f accept %v\n",
+			sid, org.State(sid).Kind, len(candidates), oldEff, bestEff, accept)
+	}
+	if !accept {
+		return nil, false, true
+	}
+	// Re-apply the winning candidate for real.
+	cs := org.BeginChanges()
+	undo := candidates[bestIdx]()
+	org.EndChanges()
+	ev.Reevaluate(cs)
+	ev.Commit()
+	return undo, true, true
+}
+
+// pickOperations assembles the candidate operations for sid. Interior
+// and tag states get ADD_PARENT candidates one level up — the most
+// reachable legal state (the paper's rule), the most topic-similar one,
+// and a random one — plus DELETE_PARENT of their least reachable
+// parent; leaves analogously over tag states.
+func pickOperations(org *Org, sid StateID, levels []int, meanReach []float64, rng *rand.Rand) []func() *UndoLog {
+	s := org.State(sid)
+	var ops []func() *UndoLog
+	addedParent := map[StateID]bool{}
+	addParentOp := func(n StateID) {
+		if n < 0 || addedParent[n] {
+			return
+		}
+		addedParent[n] = true
+		ops = append(ops, func() *UndoLog { return org.AddParentOp(n, sid) })
+	}
+
+	if s.Kind == KindLeaf {
+		var cands []StateID
+		for _, ts := range org.TagStates() {
+			if org.CanAddParent(ts, sid) {
+				cands = append(cands, ts)
+			}
+		}
+		addParentOp(argmaxID(cands, func(id StateID) float64 { return meanReach[id] }))
+		addParentOp(argmaxID(cands, func(id StateID) float64 {
+			return vectorCos(org.States[id].topic, s.topic)
+		}))
+		if t := worstLeafParent(org, sid, meanReach); t >= 0 {
+			ops = append(ops, func() *UndoLog { return org.RemoveLeafParentOp(t, sid) })
+		}
+	} else {
+		cands := legalNewParents(org, sid, levels)
+		addParentOp(argmaxID(cands, func(id StateID) float64 { return meanReach[id] }))
+		addParentOp(argmaxID(cands, func(id StateID) float64 {
+			return vectorCos(org.States[id].topic, s.topic)
+		}))
+		if len(cands) > 0 {
+			addParentOp(cands[rng.Intn(len(cands))])
+		}
+		if r := worstParent(org, sid, meanReach); r >= 0 {
+			ops = append(ops, func() *UndoLog { return org.DeleteParentOp(sid, r) })
+		}
+	}
+	return ops
+}
+
+// legalNewParents lists the interior states exactly one level above sid
+// that can legally become its parent.
+func legalNewParents(org *Org, sid StateID, levels []int) []StateID {
+	l := levels[sid]
+	if l <= 0 {
+		return nil
+	}
+	var out []StateID
+	for _, cand := range org.States {
+		if cand.deleted || cand.Kind != KindInterior {
+			continue
+		}
+		if levels[cand.ID] != l-1 {
+			continue
+		}
+		if org.CanAddParent(cand.ID, sid) {
+			out = append(out, cand.ID)
+		}
+	}
+	return out
+}
+
+// argmaxID returns the id maximizing score, or -1 for an empty slice.
+func argmaxID(ids []StateID, score func(StateID) float64) StateID {
+	best, bm := StateID(-1), 0.0
+	for _, id := range ids {
+		if s := score(id); best == -1 || s > bm {
+			bm, best = s, id
+		}
+	}
+	return best
+}
+
+// worstParent returns sid's least reachable eliminable parent, or -1.
+func worstParent(org *Org, sid StateID, meanReach []float64) StateID {
+	best, bm := StateID(-1), 2.0
+	for _, p := range org.State(sid).Parents {
+		if !org.CanDeleteParent(sid, p) {
+			continue
+		}
+		if m := meanReach[p]; m < bm {
+			bm, best = m, p
+		}
+	}
+	return best
+}
+
+// bestLeafParent returns the most reachable tag state that can adopt
+// leaf sid, or -1.
+func bestLeafParent(org *Org, sid StateID, meanReach []float64) StateID {
+	best, bm := StateID(-1), -1.0
+	for _, ts := range org.TagStates() {
+		if m := meanReach[ts]; m > bm && org.CanAddParent(ts, sid) {
+			bm, best = m, ts
+		}
+	}
+	return best
+}
+
+// worstLeafParent returns the least reachable droppable tag-state parent
+// of leaf sid, or -1.
+func worstLeafParent(org *Org, sid StateID, meanReach []float64) StateID {
+	best, bm := StateID(-1), 2.0
+	for _, p := range org.State(sid).Parents {
+		if !org.CanRemoveLeafParent(p, sid) {
+			continue
+		}
+		if m := meanReach[p]; m < bm {
+			bm, best = m, p
+		}
+	}
+	return best
+}
+
+// vectorCos is a nil-safe cosine for candidate scoring.
+func vectorCos(a, b vector.Vector) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	return vector.Cosine(a, b)
+}
+
+// debugOptimizer enables proposal tracing (LAKENAV_DEBUG_OPT=1).
+var debugOptimizer = os.Getenv("LAKENAV_DEBUG_OPT") == "1"
+
+// OptimizeRestarts runs the local search restarts times with different
+// seeds, each on a fresh copy of the initial organization built by
+// build, and returns the most effective result. Greedy acceptance makes
+// individual runs cheap but local; independent restarts are the
+// standard remedy. The build function is called once per restart (plus
+// once for the returned organization when a later restart wins).
+func OptimizeRestarts(build func() (*Org, error), cfg OptimizeConfig, restarts int) (*Org, *OptimizeStats, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestOrg *Org
+	var bestStats *OptimizeStats
+	for r := 0; r < restarts; r++ {
+		org, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(r)*104729
+		stats, err := Optimize(org, runCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bestStats == nil || stats.FinalEff > bestStats.FinalEff {
+			bestOrg, bestStats = org, stats
+		}
+	}
+	return bestOrg, bestStats, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lakenav/internal/synth"
+)
+
+func TestOptimizeImprovesClusteredOrg(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Optimize(o, OptimizeConfig{MaxIterations: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Fatal("no operations proposed")
+	}
+	if stats.FinalEff < stats.InitialEff {
+		t.Errorf("optimization degraded effectiveness: %v -> %v",
+			stats.InitialEff, stats.FinalEff)
+	}
+	if stats.Accepted+stats.Rejected != stats.Iterations {
+		t.Errorf("accept/reject counts inconsistent: %+v", stats)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The cached effectiveness must agree with a direct recomputation.
+	direct := o.Effectiveness()
+	if diff := stats.FinalEff - direct; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("stats eff %v != direct %v", stats.FinalEff, direct)
+	}
+}
+
+func TestOptimizeRecordsVisitFractions(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Optimize(o, OptimizeConfig{MaxIterations: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.StatesVisitedFrac) != stats.Iterations ||
+		len(stats.AttrsVisitedFrac) != stats.Iterations {
+		t.Fatalf("visit fraction lengths %d/%d != iterations %d",
+			len(stats.StatesVisitedFrac), len(stats.AttrsVisitedFrac), stats.Iterations)
+	}
+	for i, f := range stats.StatesVisitedFrac {
+		if f < 0 || f > 1.2 {
+			t.Errorf("iteration %d states fraction %v out of range", i, f)
+		}
+	}
+	for i, f := range stats.AttrsVisitedFrac {
+		if f < 0 || f > 1 {
+			t.Errorf("iteration %d attrs fraction %v out of range", i, f)
+		}
+	}
+}
+
+func TestOptimizeApproximateMode(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Optimize(o, OptimizeConfig{MaxIterations: 100, RepFraction: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Fatal("no operations proposed in approximate mode")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The exact effectiveness of the approximate-optimized org should
+	// still beat (or match) the clustered starting point.
+	fresh, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Effectiveness() < fresh.Effectiveness()*0.9 {
+		t.Errorf("approximate optimization ended below 90%% of start: %v vs %v",
+			o.Effectiveness(), fresh.Effectiveness())
+	}
+}
+
+func TestOptimizeDeterministicWithSeed(t *testing.T) {
+	build := func() float64 {
+		tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewClustered(tc.Lake, BuildConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Optimize(o, OptimizeConfig{MaxIterations: 60, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.FinalEff
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("same-seed optimizations differ: %v vs %v", a, b)
+	}
+}
+
+func TestOptimizePlateauTermination(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Optimize(o, OptimizeConfig{MaxIterations: 100000, Window: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations >= 100000 {
+		t.Error("plateau termination never fired")
+	}
+}
+
+func TestOptimizeRestarts(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*Org, error) { return NewClustered(tc.Lake, BuildConfig{}) }
+	org, stats, err := OptimizeRestarts(build, OptimizeConfig{MaxIterations: 40, RepFraction: 0.1, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org == nil || stats == nil {
+		t.Fatal("nil result")
+	}
+	if err := org.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The multi-start best is at least as good as a single run with the
+	// base seed.
+	single, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Optimize(single, OptimizeConfig{MaxIterations: 40, RepFraction: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalEff < st.FinalEff-1e-12 {
+		t.Errorf("restarts best %v below single %v", stats.FinalEff, st.FinalEff)
+	}
+	// restarts < 1 clamps.
+	if _, _, err := OptimizeRestarts(build, OptimizeConfig{MaxIterations: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeRestartsBuildError(t *testing.T) {
+	bad := func() (*Org, error) { return nil, errBuild }
+	if _, _, err := OptimizeRestarts(bad, OptimizeConfig{}, 2); err == nil {
+		t.Error("build error swallowed")
+	}
+}
+
+var errBuild = fmt.Errorf("build failed")

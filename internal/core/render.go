@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderOptions controls WriteTree output.
+type RenderOptions struct {
+	// MaxDepth stops rendering below this level (0 = no limit).
+	MaxDepth int
+	// MaxChildren truncates long child lists per state (0 = no limit);
+	// tag states with hundreds of leaves render as a summary line.
+	MaxChildren int
+	// ShowLeaves includes leaf states; off by default rendering stops at
+	// tag states with an attribute-count summary.
+	ShowLeaves bool
+}
+
+// WriteTree renders the organization as an indented outline, the format
+// cmd/lakenav prints. DAG nodes reachable through several parents are
+// rendered at their first (shortest-path) position and referenced with
+// "↩" afterwards, so the output stays linear in the number of states.
+func (o *Org) WriteTree(w io.Writer, opts RenderOptions) error {
+	seen := make(map[StateID]bool)
+	return o.renderState(w, o.Root, 0, opts, seen)
+}
+
+func (o *Org) renderState(w io.Writer, id StateID, depth int, opts RenderOptions, seen map[StateID]bool) error {
+	s := o.States[id]
+	indent := make([]byte, 2*depth)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	if seen[id] {
+		_, err := fmt.Fprintf(w, "%s↩ %s\n", indent, o.Label(id))
+		return err
+	}
+	seen[id] = true
+
+	switch s.Kind {
+	case KindLeaf:
+		_, err := fmt.Fprintf(w, "%s• %s\n", indent, o.Label(id))
+		return err
+	case KindTag:
+		if !opts.ShowLeaves {
+			_, err := fmt.Fprintf(w, "%s%s (%d attributes)\n", indent, o.Label(id), s.DomainSize())
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", indent, o.Label(id)); err != nil {
+			return err
+		}
+	default:
+		if _, err := fmt.Fprintf(w, "%s%s (%d attributes)\n", indent, o.Label(id), s.DomainSize()); err != nil {
+			return err
+		}
+	}
+	if opts.MaxDepth > 0 && depth+1 >= opts.MaxDepth {
+		return nil
+	}
+
+	// Children in descending domain-size order for readable output.
+	children := append([]StateID(nil), s.Children...)
+	sort.Slice(children, func(i, j int) bool {
+		di, dj := o.States[children[i]].DomainSize(), o.States[children[j]].DomainSize()
+		if di != dj {
+			return di > dj
+		}
+		return children[i] < children[j]
+	})
+	limit := len(children)
+	if opts.MaxChildren > 0 && limit > opts.MaxChildren {
+		limit = opts.MaxChildren
+	}
+	for _, c := range children[:limit] {
+		if err := o.renderState(w, c, depth+1, opts, seen); err != nil {
+			return err
+		}
+	}
+	if limit < len(children) {
+		pad := make([]byte, 2*(depth+1))
+		for i := range pad {
+			pad[i] = ' '
+		}
+		if _, err := fmt.Fprintf(w, "%s… %d more\n", pad, len(children)-limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTree(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	if err := o.WriteTree(&buf, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every tag appears with its attribute count.
+	for _, tag := range []string{"fishery", "grain", "city", "tax"} {
+		if !strings.Contains(out, tag) {
+			t.Errorf("tree missing tag %s:\n%s", tag, out)
+		}
+	}
+	if !strings.Contains(out, "attributes)") {
+		t.Error("tree missing attribute counts")
+	}
+	// Leaves hidden by default.
+	if strings.Contains(out, "•") {
+		t.Error("leaves rendered without ShowLeaves")
+	}
+}
+
+func TestWriteTreeShowLeaves(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	if err := o.WriteTree(&buf, RenderOptions{ShowLeaves: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "• fishlist.species") {
+		t.Errorf("leaves not rendered:\n%s", out)
+	}
+	// The multi-parent product leaf renders once and is referenced once.
+	if strings.Count(out, "• inspections.product") != 1 {
+		t.Errorf("multi-parent leaf rendered %d times",
+			strings.Count(out, "• inspections.product"))
+	}
+	if !strings.Contains(out, "↩") {
+		t.Error("no back-reference marker for DAG node")
+	}
+}
+
+func TestWriteTreeDepthAndChildLimits(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	if err := o.WriteTree(&buf, RenderOptions{MaxDepth: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Errorf("MaxDepth=1 rendered %d lines", lines)
+	}
+	buf.Reset()
+	if err := o.WriteTree(&buf, RenderOptions{MaxChildren: 1, ShowLeaves: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "more") {
+		t.Error("child truncation marker missing")
+	}
+}

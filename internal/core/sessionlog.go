@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Session logging closes the Sec 2.4 loop operationally: a navigation
+// service appends one JSON line per user session, and a maintenance job
+// replays the log into a Feedback accumulator to re-estimate transition
+// probabilities against real behaviour.
+
+// SessionLogEntry is one logged navigation session.
+type SessionLogEntry struct {
+	// Time is the session timestamp in RFC 3339.
+	Time string `json:"time"`
+	// Query is the user's stated intent, when known.
+	Query string `json:"query,omitempty"`
+	// Path is the visited state IDs, root first.
+	Path []StateID `json:"path"`
+}
+
+// SessionLogger appends sessions to w as JSON lines.
+type SessionLogger struct {
+	enc *json.Encoder
+	now func() time.Time
+}
+
+// NewSessionLogger returns a logger writing to w.
+func NewSessionLogger(w io.Writer) *SessionLogger {
+	return &SessionLogger{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Log appends one session. Paths shorter than two states carry no
+// transition and are rejected.
+func (sl *SessionLogger) Log(query string, path []StateID) error {
+	if len(path) < 2 {
+		return fmt.Errorf("core: session path too short (%d states)", len(path))
+	}
+	return sl.enc.Encode(SessionLogEntry{
+		Time:  sl.now().UTC().Format(time.RFC3339),
+		Query: query,
+		Path:  path,
+	})
+}
+
+// ReplayLog reads a session log and feeds every transition into f. It
+// returns the number of sessions replayed and the number skipped
+// (malformed lines or paths referencing edges the organization no
+// longer has — both expected after re-optimization invalidates old
+// logs).
+func ReplayLog(r io.Reader, f *Feedback) (replayed, skipped int, err error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var entry SessionLogEntry
+		if err := json.Unmarshal(line, &entry); err != nil {
+			skipped++
+			continue
+		}
+		if !validPath(f.org, entry.Path) {
+			skipped++
+			continue
+		}
+		if err := f.ObservePath(entry.Path); err != nil {
+			skipped++
+			continue
+		}
+		replayed++
+	}
+	if err := scanner.Err(); err != nil {
+		return replayed, skipped, fmt.Errorf("core: replay log: %w", err)
+	}
+	return replayed, skipped, nil
+}
+
+// validPath checks every transition exists on live states.
+func validPath(o *Org, path []StateID) bool {
+	if len(path) < 2 {
+		return false
+	}
+	for _, id := range path {
+		if int(id) < 0 || int(id) >= len(o.States) || o.States[id].deleted {
+			return false
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		if !o.hasEdge(path[i-1], path[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lakenav/vector"
+)
+
+func TestSessionLogRoundTrip(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	logger := NewSessionLogger(&buf)
+	topic := vector.Vector{1, 0, 0, 0}
+	rng := rand.New(rand.NewSource(3))
+	sessions := 5
+	var total int
+	for i := 0; i < sessions; i++ {
+		path := o.Walk(topic, rng)
+		if err := logger.Log("fish", path); err != nil {
+			t.Fatal(err)
+		}
+		total += len(path) - 1
+	}
+
+	f, _ := NewFeedback(o, 1)
+	replayed, skipped, err := ReplayLog(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != sessions || skipped != 0 {
+		t.Errorf("replayed %d skipped %d", replayed, skipped)
+	}
+	if got := f.Observations(); got != float64(total) {
+		t.Errorf("Observations = %v, want %d", got, total)
+	}
+}
+
+func TestSessionLogRejectsShortPath(t *testing.T) {
+	o := clusteredOrg(t)
+	logger := NewSessionLogger(&bytes.Buffer{})
+	if err := logger.Log("x", []StateID{o.Root}); err == nil {
+		t.Error("single-state path accepted")
+	}
+}
+
+func TestReplayLogSkipsGarbageAndStaleEntries(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	logger := NewSessionLogger(&buf)
+	topic := vector.Vector{0, 1, 0, 0}
+	path := o.Walk(topic, nil)
+	logger.Log("grain", path)
+	buf.WriteString("{malformed\n")
+	buf.WriteString(`{"time":"2026-01-01T00:00:00Z","path":[99999,100000]}` + "\n")
+	// An entry whose edge no longer exists (reverse path).
+	rev := []StateID{path[1], path[0]}
+	logger.Log("backwards", rev)
+
+	f, _ := NewFeedback(o, 1)
+	replayed, skipped, err := ReplayLog(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Errorf("replayed = %d, want 1", replayed)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+}
+
+func TestReplayLogEmpty(t *testing.T) {
+	o := clusteredOrg(t)
+	f, _ := NewFeedback(o, 1)
+	replayed, skipped, err := ReplayLog(strings.NewReader("\n\n"), f)
+	if err != nil || replayed != 0 || skipped != 0 {
+		t.Errorf("empty log: %d/%d/%v", replayed, skipped, err)
+	}
+}
+
+func TestReplayAfterReoptimizationSkipsInvalidated(t *testing.T) {
+	o := clusteredOrg(t)
+	var buf bytes.Buffer
+	logger := NewSessionLogger(&buf)
+	topic := vector.Vector{0, 0, 1, 0}
+	logger.Log("city", o.Walk(topic, nil))
+
+	// Structural change that eliminates interior states: old sessions
+	// through them must be skipped, not crash.
+	r := pickInterior(t, o)
+	s := o.State(r).Children[0]
+	o.DeleteParentOp(s, r)
+
+	f, _ := NewFeedback(o, 1)
+	replayed, skipped, err := ReplayLog(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed+skipped != 1 {
+		t.Errorf("replayed %d skipped %d", replayed, skipped)
+	}
+}

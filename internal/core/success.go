@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"lakenav/internal/ann"
+	"lakenav/internal/lake"
+)
+
+// The evaluation measure of Sec 4.2: a navigation is successful if it
+// finds the queried attribute *or a similar one*. Success(A|O) =
+// 1 − ∏_{A_i : κ(A_i, A) ≥ θ} (1 − P(A_i|O)) with κ the cosine
+// similarity of topic vectors and θ = 0.9 in the paper; table success
+// composes attribute successes like Eq 5.
+
+// DefaultTheta is the paper's similarity threshold.
+const DefaultTheta = 0.9
+
+// SuccessResult holds per-table success probabilities.
+type SuccessResult struct {
+	// PerTable is indexed by TableID.
+	PerTable []float64
+	// Sorted is PerTable ascending — the series plotted in Figure 2.
+	Sorted []float64
+	// Mean is the average table success probability (the headline
+	// numbers of Sec 4.3).
+	Mean float64
+}
+
+// AttrProbMap returns each organized attribute's exact discovery
+// probability as a map, the input shape EvaluateSuccess consumes.
+// Multi-dimensional organizations provide the same shape via
+// MultiDim.AttrProbs.
+func AttrProbMap(o *Org) map[lake.AttrID]float64 {
+	probs := o.AttrDiscoveryProbs()
+	out := make(map[lake.AttrID]float64, len(probs))
+	for i, a := range o.Attrs() {
+		out[a] = probs[i]
+	}
+	return out
+}
+
+// EvaluateSuccess computes the success probability of every table in
+// the lake under the given per-attribute discovery probabilities.
+// Attributes similar to a query attribute are found with an LSH index
+// over topic vectors (candidates verified exactly, so there are no
+// false positives; near-duplicate attributes at θ = 0.9 hash together
+// with high probability).
+func EvaluateSuccess(l *lake.Lake, attrProbs map[lake.AttrID]float64, theta float64) *SuccessResult {
+	if theta <= 0 || theta > 1 {
+		theta = DefaultTheta
+	}
+	// Index every embeddable text attribute: similarity is defined over
+	// 𝒜, not just organized attributes.
+	var ids []lake.AttrID
+	idx := ann.New(ann.DefaultConfig(l.Dim()))
+	for _, a := range l.Attrs {
+		if !a.Text || a.EmbCount == 0 {
+			continue
+		}
+		idx.Add(a.Topic)
+		ids = append(ids, a.ID)
+	}
+
+	// Success per attribute.
+	attrSuccess := make(map[lake.AttrID]float64, len(ids))
+	for i, id := range ids {
+		_ = i
+		fail := 1.0
+		for _, m := range idx.Similar(l.Attr(id).Topic, theta) {
+			fail *= 1 - attrProbs[ids[m.ID]]
+		}
+		attrSuccess[id] = 1 - fail
+	}
+
+	// Success per table (Sec 4.2's table success probability).
+	res := &SuccessResult{PerTable: make([]float64, len(l.Tables))}
+	var sum float64
+	for ti, t := range l.Tables {
+		fail := 1.0
+		for _, a := range t.Attrs {
+			if s, ok := attrSuccess[a]; ok {
+				fail *= 1 - s
+			}
+		}
+		res.PerTable[ti] = 1 - fail
+		sum += res.PerTable[ti]
+	}
+	res.Sorted = append([]float64(nil), res.PerTable...)
+	sort.Float64s(res.Sorted)
+	if len(l.Tables) > 0 {
+		res.Mean = sum / float64(len(l.Tables))
+	}
+	return res
+}

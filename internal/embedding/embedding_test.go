@@ -1,0 +1,337 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lakenav/vector"
+)
+
+func TestHashedDeterministic(t *testing.T) {
+	m := NewHashed(32, 7, 1.0)
+	a1, ok1 := m.Lookup("fisheries")
+	a2, ok2 := m.Lookup("fisheries")
+	if !ok1 || !ok2 {
+		t.Fatal("full-coverage model missed a word")
+	}
+	if !vector.Equal(a1, a2, 0) {
+		t.Error("Hashed.Lookup is not deterministic")
+	}
+}
+
+func TestHashedUnitNorm(t *testing.T) {
+	m := NewHashed(32, 7, 1.0)
+	v, _ := m.Lookup("economy")
+	if n := vector.Norm(v); n < 0.999 || n > 1.001 {
+		t.Errorf("norm = %v, want 1", n)
+	}
+}
+
+func TestHashedDistinctWordsDiffer(t *testing.T) {
+	m := NewHashed(64, 7, 1.0)
+	a, _ := m.Lookup("grain")
+	b, _ := m.Lookup("immigration")
+	if c := vector.Cosine(a, b); c > 0.6 {
+		t.Errorf("unrelated words too similar: cos=%v", c)
+	}
+}
+
+func TestHashedCoverage(t *testing.T) {
+	m := NewHashed(16, 7, 0.7)
+	words := 0
+	hits := 0
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		w := randWord(rng)
+		words++
+		if _, ok := m.Lookup(w); ok {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(words)
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("coverage fraction = %v, want ~0.7", frac)
+	}
+	// Coverage decision must be deterministic per word.
+	_, first := m.Lookup("zebra")
+	_, second := m.Lookup("zebra")
+	if first != second {
+		t.Error("coverage decision not deterministic")
+	}
+}
+
+func TestHashedSeedChangesVectors(t *testing.T) {
+	a, _ := NewHashed(32, 1, 1).Lookup("city")
+	b, _ := NewHashed(32, 2, 1).Lookup("city")
+	if vector.Equal(a, b, 1e-12) {
+		t.Error("different seeds produced identical embeddings")
+	}
+}
+
+func TestHashedPanicsOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dim":      func() { NewHashed(0, 1, 1) },
+		"zero coverage": func() { NewHashed(8, 1, 0) },
+		"coverage > 1":  func() { NewHashed(8, 1, 1.5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	n := 3 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestStoreAddLookup(t *testing.T) {
+	s := NewStore(2)
+	s.Add("a", vector.Vector{1, 0})
+	s.Add("b", vector.Vector{0, 1})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	v, ok := s.Lookup("a")
+	if !ok || !vector.Equal(v, vector.Vector{1, 0}, 0) {
+		t.Errorf("Lookup(a) = %v, %v", v, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported present")
+	}
+	// Replacement keeps length.
+	s.Add("a", vector.Vector{0.5, 0.5})
+	if s.Len() != 2 {
+		t.Errorf("Len after replace = %d, want 2", s.Len())
+	}
+	v, _ = s.Lookup("a")
+	if !vector.Equal(v, vector.Vector{0.5, 0.5}, 0) {
+		t.Errorf("replaced Lookup(a) = %v", v)
+	}
+}
+
+func TestStoreAddClones(t *testing.T) {
+	s := NewStore(1)
+	src := vector.Vector{1}
+	s.Add("w", src)
+	src[0] = 42
+	v, _ := s.Lookup("w")
+	if v[0] != 1 {
+		t.Error("Store.Add did not clone input")
+	}
+}
+
+func TestStoreNearest(t *testing.T) {
+	s := NewStore(2)
+	s.Add("east", vector.Vector{1, 0})
+	s.Add("northeast", vector.Vector{1, 1})
+	s.Add("north", vector.Vector{0, 1})
+	s.Add("west", vector.Vector{-1, 0})
+
+	nn := s.Nearest(vector.Vector{1, 0.1}, 2, nil)
+	if len(nn) != 2 {
+		t.Fatalf("got %d neighbours, want 2", len(nn))
+	}
+	if nn[0].Word != "east" || nn[1].Word != "northeast" {
+		t.Errorf("neighbours = %v", nn)
+	}
+	if nn[0].Similarity < nn[1].Similarity {
+		t.Error("neighbours not sorted by similarity")
+	}
+
+	// exclude filters.
+	nn = s.Nearest(vector.Vector{1, 0.1}, 2, map[string]bool{"east": true})
+	if nn[0].Word != "northeast" {
+		t.Errorf("excluded query returned %v", nn)
+	}
+
+	if got := s.Nearest(vector.Vector{1, 0}, 0, nil); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestStoreNearestWord(t *testing.T) {
+	s := NewStore(2)
+	s.Add("a", vector.Vector{1, 0})
+	s.Add("b", vector.Vector{1, 0.01})
+	nn := s.NearestWord("a", 5, true)
+	if len(nn) != 1 || nn[0].Word != "b" {
+		t.Errorf("NearestWord = %v", nn)
+	}
+	if s.NearestWord("missing", 3, false) != nil {
+		t.Error("NearestWord on missing word returned neighbours")
+	}
+}
+
+func TestTopicSpaceGroundTruth(t *testing.T) {
+	cfg := TopicSpaceConfig{Dim: 32, Topics: 20, WordsPerTopic: 30, Sigma: 0.25, MaxCentroidCosine: 0.5, Seed: 3}
+	ts, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ts.Topics()); got != 20 {
+		t.Fatalf("topics = %d, want 20", got)
+	}
+	// Every topic word should be closer to its own centroid than to any
+	// other centroid.
+	for ti, topic := range ts.Topics() {
+		cv, _ := ts.Lookup(topic)
+		for w := 0; w < 5; w++ {
+			word := TopicWordName(ti, w)
+			wv, ok := ts.Lookup(word)
+			if !ok {
+				t.Fatalf("missing topic word %s", word)
+			}
+			own := vector.Cosine(wv, cv)
+			for tj, other := range ts.Topics() {
+				if tj == ti {
+					continue
+				}
+				ov, _ := ts.Lookup(other)
+				if vector.Cosine(wv, ov) >= own {
+					t.Fatalf("word %s closer to %s than its own topic %s", word, other, topic)
+				}
+			}
+		}
+	}
+}
+
+func TestTopicSpaceCentroidSeparation(t *testing.T) {
+	cfg := TopicSpaceConfig{Dim: 32, Topics: 15, WordsPerTopic: 5, Sigma: 0.2, MaxCentroidCosine: 0.4, Seed: 5}
+	ts, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops := ts.Topics()
+	for i := range tops {
+		vi, _ := ts.Lookup(tops[i])
+		for j := i + 1; j < len(tops); j++ {
+			vj, _ := ts.Lookup(tops[j])
+			if c := vector.Cosine(vi, vj); c > 0.4 {
+				t.Errorf("centroids %s,%s too close: cos=%v", tops[i], tops[j], c)
+			}
+		}
+	}
+}
+
+func TestTopicSpaceTopicWords(t *testing.T) {
+	cfg := TopicSpaceConfig{Dim: 32, Topics: 5, WordsPerTopic: 50, Sigma: 0.2, MaxCentroidCosine: 0.4, Seed: 7}
+	ts, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := ts.Topics()[0]
+	nn := ts.TopicWords(topic, 10)
+	if len(nn) != 10 {
+		t.Fatalf("TopicWords returned %d, want 10", len(nn))
+	}
+	// The nearest words to a centroid should overwhelmingly be its own
+	// topic's vocabulary.
+	own := 0
+	for _, n := range nn {
+		if ts.TopicOf(n.Word) == topic {
+			own++
+		}
+	}
+	if own < 9 {
+		t.Errorf("only %d/10 nearest words belong to the topic", own)
+	}
+}
+
+func TestTopicSpaceTopicOf(t *testing.T) {
+	cfg := TopicSpaceConfig{Dim: 16, Topics: 3, WordsPerTopic: 4, Sigma: 0.3, MaxCentroidCosine: 0.6, Seed: 9}
+	ts, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.TopicOf(TopicWordName(1, 2)); got != TopicName(1) {
+		t.Errorf("TopicOf = %q, want %q", got, TopicName(1))
+	}
+	if got := ts.TopicOf("unknown"); got != "" {
+		t.Errorf("TopicOf(unknown) = %q, want empty", got)
+	}
+}
+
+func TestTopicSpaceRejectsImpossibleConfig(t *testing.T) {
+	// 50 centroids pairwise below cosine 0.05 in 2 dims is impossible.
+	cfg := TopicSpaceConfig{Dim: 2, Topics: 50, WordsPerTopic: 1, Sigma: 0.1, MaxCentroidCosine: 0.05, Seed: 1}
+	if _, err := NewTopicSpace(cfg); err == nil {
+		t.Error("expected error for unsatisfiable separation")
+	}
+}
+
+func TestTopicSpaceInvalidConfig(t *testing.T) {
+	bad := []TopicSpaceConfig{
+		{Dim: 0, Topics: 1, WordsPerTopic: 1, Sigma: 0.1},
+		{Dim: 4, Topics: 0, WordsPerTopic: 1, Sigma: 0.1},
+		{Dim: 4, Topics: 1, WordsPerTopic: 0, Sigma: 0.1},
+		{Dim: 4, Topics: 1, WordsPerTopic: 1, Sigma: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTopicSpace(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTopicSpaceDeterministic(t *testing.T) {
+	cfg := TopicSpaceConfig{Dim: 16, Topics: 4, WordsPerTopic: 6, Sigma: 0.2, MaxCentroidCosine: 0.6, Seed: 42}
+	a, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTopicSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range a.Store().Words() {
+		va, _ := a.Lookup(w)
+		vb, ok := b.Lookup(w)
+		if !ok || !vector.Equal(va, vb, 0) {
+			t.Fatalf("word %s differs between identically-seeded spaces", w)
+		}
+	}
+}
+
+// Property: Nearest always returns results sorted descending and at most k.
+func TestNearestSortedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewStore(8)
+	for i := 0; i < 100; i++ {
+		v := vector.New(8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Add(randWord(rng)+string(rune('a'+i%26)), v)
+	}
+	f := func() bool {
+		q := vector.New(8)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(20)
+		nn := s.Nearest(q, k, nil)
+		if len(nn) > k {
+			return false
+		}
+		for i := 1; i < len(nn); i++ {
+			if nn[i].Similarity > nn[i-1].Similarity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

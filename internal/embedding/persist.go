@@ -1,0 +1,146 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"lakenav/vector"
+)
+
+// Binary store format:
+//
+//	magic   [8]byte  "LNEMBD01"
+//	dim     uint32
+//	count   uint32
+//	count × { wordLen uint32, word []byte, dim × float64 (LE bits) }
+//
+// The format is the stand-in for a pretrained embedding file on disk; it
+// round-trips a Store exactly and fails loudly on corruption.
+
+var storeMagic = [8]byte{'L', 'N', 'E', 'M', 'B', 'D', '0', '1'}
+
+// maxWordLen bounds a single vocabulary entry; longer lengths in a file
+// indicate corruption.
+const maxWordLen = 1 << 16
+
+// WriteTo serializes the store to w in the lakenav binary format.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(storeMagic); err != nil {
+		return n, fmt.Errorf("embedding: write magic: %w", err)
+	}
+	if err := write(uint32(s.dim)); err != nil {
+		return n, fmt.Errorf("embedding: write dim: %w", err)
+	}
+	if err := write(uint32(len(s.words))); err != nil {
+		return n, fmt.Errorf("embedding: write count: %w", err)
+	}
+	for i, word := range s.words {
+		if err := write(uint32(len(word))); err != nil {
+			return n, fmt.Errorf("embedding: write word len: %w", err)
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return n, fmt.Errorf("embedding: write word: %w", err)
+		}
+		n += int64(len(word))
+		for _, x := range s.vecs[i] {
+			if err := write(math.Float64bits(x)); err != nil {
+				return n, fmt.Errorf("embedding: write component: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("embedding: flush: %w", err)
+	}
+	return n, nil
+}
+
+// ReadStore deserializes a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("embedding: read magic: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("embedding: bad magic %q", magic)
+	}
+	var dim, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("embedding: read dim: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("embedding: read count: %w", err)
+	}
+	if dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("embedding: implausible dim %d", dim)
+	}
+	s := NewStore(int(dim))
+	buf := make([]byte, 0, 64)
+	for i := uint32(0); i < count; i++ {
+		var wl uint32
+		if err := binary.Read(br, binary.LittleEndian, &wl); err != nil {
+			return nil, fmt.Errorf("embedding: read word len (entry %d): %w", i, err)
+		}
+		if wl > maxWordLen {
+			return nil, fmt.Errorf("embedding: implausible word length %d (entry %d)", wl, i)
+		}
+		if cap(buf) < int(wl) {
+			buf = make([]byte, wl)
+		}
+		buf = buf[:wl]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("embedding: read word (entry %d): %w", i, err)
+		}
+		word := string(buf)
+		v := vector.New(int(dim))
+		for j := range v {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("embedding: read component (entry %d): %w", i, err)
+			}
+			v[j] = math.Float64frombits(bits)
+		}
+		s.Add(word, v)
+	}
+	return s, nil
+}
+
+// SaveFile writes the store to path, creating or truncating it.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("embedding: save %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := s.WriteTo(f); err != nil {
+		return fmt.Errorf("embedding: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store previously written with SaveFile.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: load %s: %w", path, err)
+	}
+	defer f.Close()
+	s, err := ReadStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: load %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package embedding
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"lakenav/vector"
+)
+
+func buildTestStore() *Store {
+	s := NewStore(3)
+	s.Add("alpha", vector.Vector{1, 2, 3})
+	s.Add("beta", vector.Vector{-0.5, 0, 0.25})
+	s.Add("", vector.Vector{0, 0, 0}) // empty word is legal
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := buildTestStore()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != s.Dim() || got.Len() != s.Len() {
+		t.Fatalf("round trip shape mismatch: dim %d/%d len %d/%d", got.Dim(), s.Dim(), got.Len(), s.Len())
+	}
+	for _, w := range s.Words() {
+		want, _ := s.Lookup(w)
+		have, ok := got.Lookup(w)
+		if !ok || !vector.Equal(want, have, 0) {
+			t.Errorf("word %q: got %v want %v (ok=%v)", w, have, want, ok)
+		}
+	}
+}
+
+func TestStoreFileRoundTrip(t *testing.T) {
+	s := buildTestStore()
+	path := filepath.Join(t.TempDir(), "vecs.bin")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("Len = %d, want %d", got.Len(), s.Len())
+	}
+}
+
+func TestReadStoreBadMagic(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte("NOTMAGIC garbage"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadStoreTruncated(t *testing.T) {
+	s := buildTestStore()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 8, 12, 20, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadStore(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadStoreImplausibleWordLen(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(storeMagic[:])
+	// dim=1, count=1, wordLen=maxWordLen+1
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	if _, err := ReadStore(&buf); err == nil {
+		t.Error("implausible word length accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmptyStoreRoundTrip(t *testing.T) {
+	s := NewStore(4)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dim() != 4 {
+		t.Errorf("empty round trip: len=%d dim=%d", got.Len(), got.Dim())
+	}
+}
+
+func TestSaveFileToBadPath(t *testing.T) {
+	s := buildTestStore()
+	if err := s.SaveFile("/nonexistent-dir/x/y.bin"); err == nil {
+		t.Error("bad path accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"lakenav/internal/cluster"
+	"lakenav/internal/core"
+	"lakenav/internal/synth"
+)
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Group string
+	Name  string
+	// Effectiveness is the exact P(T|O) of the resulting organization.
+	Effectiveness float64
+}
+
+// Ablations sweeps the design choices DESIGN.md §5 calls out, on one
+// TagCloud instance: the navigation γ, the acceptance rule, the
+// representative fraction, the agglomerative linkage, and the initial
+// organization. Each row reports the exact effectiveness of the
+// resulting organization, so rows within a group are directly
+// comparable.
+func Ablations(opts Options) ([]AblationRow, error) {
+	cfg := tagCloudConfig(opts)
+	if !opts.Quick {
+		// Full TagCloud ablations would take hours; a mid-size instance
+		// keeps each cell seconds while preserving the orderings.
+		cfg.Tags = 120
+		cfg.Attributes = 800
+		cfg.MaxValues = 200
+	}
+	tc, err := synth.GenerateTagCloud(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	add := func(group, name string, eff float64) {
+		rows = append(rows, AblationRow{Group: group, Name: name, Effectiveness: eff})
+		opts.printf("%-12s %-10s eff=%.4f\n", group, name, eff)
+	}
+	opts.printf("ablations: TagCloud %d tags / %d attributes\n", len(tc.Lake.Tags()), len(tc.Lake.Attrs))
+
+	// γ sweep: the signal-vs-dilution knob of Eq 1.
+	for _, gamma := range []float64{2, 5, 10, 20, 40} {
+		org, err := core.NewClustered(tc.Lake, core.BuildConfig{Gamma: gamma})
+		if err != nil {
+			return nil, err
+		}
+		add("gamma", map[float64]string{2: "2", 5: "5", 10: "10", 20: "20", 40: "40"}[gamma], org.Effectiveness())
+	}
+
+	// Acceptance rule: Eq 9 vs sharpened vs greedy.
+	optBudget := func(exp float64) core.OptimizeConfig {
+		oc := *optimizeConfig(opts, 0.1)
+		oc.AcceptExponent = exp
+		return oc
+	}
+	for name, exp := range map[string]float64{"eq9": 1, "sharp12": 12, "greedy": -1} {
+		org, err := core.NewClustered(tc.Lake, core.BuildConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.Optimize(org, optBudget(exp)); err != nil {
+			return nil, err
+		}
+		add("acceptance", name, org.Effectiveness())
+	}
+
+	// Representative fraction: evaluation cost vs fidelity.
+	for name, frac := range map[string]float64{"exact": 0, "10pct": 0.1, "2pct": 0.02} {
+		org, err := core.NewClustered(tc.Lake, core.BuildConfig{})
+		if err != nil {
+			return nil, err
+		}
+		oc := *optimizeConfig(opts, frac)
+		if _, err := core.Optimize(org, oc); err != nil {
+			return nil, err
+		}
+		add("reps", name, org.Effectiveness())
+	}
+
+	// Linkage for the initial clustering.
+	for name, linkage := range map[string]cluster.Linkage{
+		"average": cluster.Average, "complete": cluster.Complete, "single": cluster.Single,
+	} {
+		org, err := core.NewClustered(tc.Lake, core.BuildConfig{Linkage: linkage})
+		if err != nil {
+			return nil, err
+		}
+		add("linkage", name, org.Effectiveness())
+	}
+
+	// Initial organization for the search.
+	initials := map[string]func() (*core.Org, error){
+		"clustered": func() (*core.Org, error) { return core.NewClustered(tc.Lake, core.BuildConfig{}) },
+		"random": func() (*core.Org, error) {
+			return core.NewRandomHierarchy(tc.Lake, core.BuildConfig{}, rand.New(rand.NewSource(opts.Seed)))
+		},
+	}
+	for name, build := range initials {
+		org, err := build()
+		if err != nil {
+			return nil, err
+		}
+		oc := *optimizeConfig(opts, 0.1)
+		if _, err := core.Optimize(org, oc); err != nil {
+			return nil, err
+		}
+		add("initial", name, org.Effectiveness())
+	}
+	return rows, nil
+}

@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec 4) on the synthetic substitutes documented in
+// DESIGN.md:
+//
+//	fig2a  – Figure 2(a): success probability per table on TagCloud for
+//	         the flat baseline, the clustering initialization, 1–4-dim
+//	         optimized organizations, enriched 2-dim, and 2-dim approx.
+//	fig2b  – Figure 2(b): success probability on a Socrata-like lake,
+//	         10-dim organization vs the flat tag baseline.
+//	fig3   – Figure 3: fraction of states and attributes re-evaluated
+//	         per search iteration under pruning.
+//	table1 – Table 1: per-dimension statistics of the 10 Socrata
+//	         organizations (#tags, #atts, #tables, #reps).
+//	timing – Sec 4.3.2: construction times of each organization.
+//	study  – Sec 4.4: the simulated user study (H1, H2, intersection).
+//
+// Every experiment takes Options, prints the paper-style rows/series to
+// Options.Out, and returns a structured result that benches and tests
+// assert shapes on. Absolute numbers differ from the paper (synthetic
+// data, different hardware); orderings and ratios are the reproduction
+// targets, and EXPERIMENTS.md records both sides.
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Out receives the printed report; nil discards it.
+	Out io.Writer
+	// Quick shrinks workloads to test/CI scale (seconds, not minutes).
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o *Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o *Options) printf(format string, args ...any) {
+	fmt.Fprintf(o.out(), format, args...)
+}
+
+// seriesSummary renders an ascending per-table series the way the
+// paper's figures read: selected quantiles plus the mean.
+func (o *Options) printSeries(name string, sorted []float64, mean float64) {
+	if len(sorted) == 0 {
+		o.printf("%-16s (empty)\n", name)
+		return
+	}
+	q := func(f float64) float64 {
+		i := int(f * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	o.printf("%-16s mean=%.4f  p10=%.4f p25=%.4f p50=%.4f p75=%.4f p90=%.4f max=%.4f\n",
+		name, mean, q(0.10), q(0.25), q(0.50), q(0.75), q(0.90), sorted[len(sorted)-1])
+}

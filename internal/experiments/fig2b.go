@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"time"
+
+	"lakenav/internal/core"
+	"lakenav/internal/synth"
+)
+
+// DimStats is one row of Table 1: the statistics of one dimension of
+// the Socrata organization.
+type DimStats struct {
+	Org    int
+	Tags   int
+	Atts   int
+	Tables int
+	Reps   int
+}
+
+// Fig2bResult holds Figure 2(b)'s two curves and Table 1's rows (the
+// two artifacts share the construction, as in the paper).
+type Fig2bResult struct {
+	Flat      OrgSeries
+	MultiD    OrgSeries
+	Table1    []DimStats
+	BuildTime time.Duration
+	// Lake shape for the header.
+	Tables, Attrs, Tags int
+}
+
+// socrataConfig returns the Socrata-like lake at default or quick scale.
+func socrataConfig(opts Options) synth.SocrataConfig {
+	cfg := synth.DefaultSocrataConfig()
+	cfg.Seed = opts.Seed + 11
+	if opts.Quick {
+		cfg.Tables = 150
+		cfg.Topics = 20
+		cfg.TagsPerTopic = 8
+		cfg.Dim = 32
+	}
+	return cfg
+}
+
+// Figure2b reproduces Figure 2(b) and Table 1: a ten-dimensional
+// organization over the Socrata-like lake, built with k-medoids tag
+// grouping and the 10% representative approximation, against the flat
+// tag baseline (the navigation open data portals support today).
+func Figure2b(opts Options) (*Fig2bResult, error) {
+	cfg := socrataConfig(opts)
+	soc, err := synth.GenerateSocrata(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2bResult{
+		Tables: len(soc.Lake.Tables),
+		Attrs:  len(soc.Lake.Attrs),
+		Tags:   len(soc.Lake.Tags()),
+	}
+	opts.printf("fig2b: Socrata-like lake — %d tables, %d attributes, %d tags\n",
+		res.Tables, res.Attrs, res.Tags)
+
+	flat, err := core.NewFlat(soc.Lake, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	sFlat := core.EvaluateSuccess(soc.Lake, core.AttrProbMap(flat), core.DefaultTheta)
+	res.Flat = OrgSeries{Name: "flat (tags)", Sorted: sFlat.Sorted, Mean: sFlat.Mean}
+	opts.printSeries("flat (tags)", sFlat.Sorted, sFlat.Mean)
+
+	dims := 10
+	if opts.Quick {
+		dims = 4
+	}
+	t0 := time.Now()
+	m, stats, err := core.BuildMultiDim(soc.Lake, core.MultiDimConfig{
+		K:        dims,
+		Optimize: optimizeConfig(opts, 0.1),
+		Seed:     opts.Seed + 12,
+		Parallel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.BuildTime = time.Since(t0)
+	sMulti := core.EvaluateSuccess(soc.Lake, m.AttrProbs(), core.DefaultTheta)
+	res.MultiD = OrgSeries{Name: "10-dim", Sorted: sMulti.Sorted, Mean: sMulti.Mean, BuildTime: res.BuildTime}
+	opts.printSeries("10-dim", sMulti.Sorted, sMulti.Mean)
+	opts.printf("construction: %v\n", res.BuildTime)
+	_ = stats
+
+	// Table 1: per-dimension statistics, ordered by #tags descending as
+	// in the paper.
+	opts.printf("\ntable1: statistics of the %d organizations\n", len(m.Orgs))
+	opts.printf("%-4s %7s %8s %8s %7s\n", "Org", "#Tags", "#Atts", "#Tables", "#Reps")
+	for i, o := range m.Orgs {
+		tables := map[int]bool{}
+		for _, a := range o.Attrs() {
+			tables[int(soc.Lake.Attr(a).Table)] = true
+		}
+		reps := len(o.Attrs()) / 10
+		if reps < 1 {
+			reps = 1
+		}
+		res.Table1 = append(res.Table1, DimStats{
+			Org:    i + 1,
+			Tags:   len(m.TagGroups[i]),
+			Atts:   len(o.Attrs()),
+			Tables: len(tables),
+			Reps:   reps,
+		})
+	}
+	// Sort rows by #Tags descending (paper's presentation).
+	for i := 1; i < len(res.Table1); i++ {
+		for j := i; j > 0 && res.Table1[j].Tags > res.Table1[j-1].Tags; j-- {
+			res.Table1[j], res.Table1[j-1] = res.Table1[j-1], res.Table1[j]
+		}
+	}
+	for i := range res.Table1 {
+		res.Table1[i].Org = i + 1
+		r := res.Table1[i]
+		opts.printf("%-4d %7d %8d %8d %7d\n", r.Org, r.Tags, r.Atts, r.Tables, r.Reps)
+	}
+	return res, nil
+}
+
+// Table1 regenerates only the Table 1 rows (it shares Figure 2(b)'s
+// construction).
+func Table1(opts Options) ([]DimStats, error) {
+	res, err := Figure2b(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table1, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"time"
+
+	"lakenav/internal/core"
+	"lakenav/internal/lake"
+	"lakenav/internal/synth"
+)
+
+// ScaleRow is one row of the scalability sweep.
+type ScaleRow struct {
+	Tables    int
+	Attrs     int
+	Tags      int
+	BuildTime time.Duration
+	// States is the total live state count across dimensions.
+	States int
+	// Success is the mean table success probability (θ = 0.9).
+	Success float64
+	// FlatSuccess is the flat tag baseline on the same lake.
+	FlatSuccess float64
+}
+
+// Scalability runs the paper's future-work scalability study: how
+// construction cost and organization quality move as the lake grows,
+// with dimensions and representative fraction held at the Figure 2(b)
+// settings. The expected shape: build time grows roughly with the
+// number of organized attributes times the tag count (evaluator sweeps
+// × proposals), while the multi-dimensional organization's advantage
+// over the flat baseline persists across scales.
+func Scalability(opts Options) ([]ScaleRow, error) {
+	sizes := []int{200, 400, 800}
+	if opts.Quick {
+		sizes = []int{60, 120, 240}
+	}
+	opts.printf("scalability: Socrata-like lakes, 6-dim organizations, 10%% representatives\n")
+	opts.printf("%8s %8s %6s %10s %8s %9s %9s\n",
+		"#Tables", "#Attrs", "#Tags", "build", "#States", "success", "flat")
+
+	var rows []ScaleRow
+	for _, n := range sizes {
+		cfg := socrataConfig(opts)
+		cfg.Tables = n
+		// Scale topic breadth sublinearly with the lake, as real
+		// portals do (more tables, slowly more domains).
+		cfg.Topics = 10 + n/25
+		soc, err := synth.GenerateSocrata(cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		flat, err := core.NewFlat(soc.Lake, core.BuildConfig{})
+		if err != nil {
+			return nil, err
+		}
+		flatSuccess := core.EvaluateSuccess(soc.Lake, core.AttrProbMap(flat), core.DefaultTheta).Mean
+
+		start := time.Now()
+		m, _, err := core.BuildMultiDim(soc.Lake, core.MultiDimConfig{
+			K:        6,
+			Optimize: optimizeConfig(opts, 0.1),
+			Seed:     opts.Seed + int64(n),
+			Parallel: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		build := time.Since(start)
+
+		states := 0
+		for _, o := range m.Orgs {
+			states += o.LiveStates()
+		}
+		success := core.EvaluateSuccess(soc.Lake, m.AttrProbs(), core.DefaultTheta).Mean
+		row := ScaleRow{
+			Tables:      len(soc.Lake.Tables),
+			Attrs:       countText(soc.Lake),
+			Tags:        len(soc.Lake.Tags()),
+			BuildTime:   build,
+			States:      states,
+			Success:     success,
+			FlatSuccess: flatSuccess,
+		}
+		rows = append(rows, row)
+		opts.printf("%8d %8d %6d %9.2fs %8d %9.4f %9.4f\n",
+			row.Tables, row.Attrs, row.Tags, build.Seconds(), states, success, flatSuccess)
+	}
+	return rows, nil
+}
+
+func countText(l *lake.Lake) int {
+	n := 0
+	for _, a := range l.Attrs {
+		if a.Text && a.EmbCount > 0 {
+			n++
+		}
+	}
+	return n
+}

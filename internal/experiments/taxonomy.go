@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lakenav/internal/core"
+	"lakenav/internal/synth"
+)
+
+// TaxonomyRow is one organization variant in the taxonomy comparison.
+type TaxonomyRow struct {
+	Name string
+	// Effectiveness is exact P(T|O).
+	Effectiveness float64
+	// Success is the mean table success probability (θ = 0.9).
+	Success float64
+	// Depth is the maximum navigation depth.
+	Depth int
+}
+
+// Taxonomy runs the paper's future-work comparison ("we plan to compare
+// organizations with existing taxonomies"): a ground-truth is-a
+// taxonomy over the TagCloud tags (root → topic family → tag), the
+// learned organizations (clustering and optimized), and the flat
+// baseline, all evaluated under the same navigation model.
+//
+// The expected — and measured — outcome is the paper's own argument
+// from Sec 1 and 5: taxonomies are built for abstraction, not
+// navigation; under the transition model's branching penalty the
+// learned deep hierarchy routes better than the shallow "correct"
+// taxonomy.
+func Taxonomy(opts Options) ([]TaxonomyRow, error) {
+	cfg := tagCloudConfig(opts)
+	if cfg.SuperTopics <= 0 {
+		cfg.SuperTopics = 24
+	}
+	tc, err := synth.GenerateTagCloud(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.printf("taxonomy: TagCloud with %d tag families\n", cfg.SuperTopics)
+
+	var rows []TaxonomyRow
+	add := func(name string, o *core.Org) {
+		m := core.ComputeMetrics(o)
+		s := core.EvaluateSuccess(tc.Lake, core.AttrProbMap(o), core.DefaultTheta)
+		rows = append(rows, TaxonomyRow{
+			Name: name, Effectiveness: o.Effectiveness(), Success: s.Mean, Depth: m.Depth,
+		})
+		opts.printf("%-12s eff=%.4f success=%.4f depth=%d\n", name, o.Effectiveness(), s.Mean, m.Depth)
+	}
+
+	flat, err := core.NewFlat(tc.Lake, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	add("flat", flat)
+
+	// The ground-truth taxonomy: tags grouped by their planted family
+	// (topic t belongs to family t mod SuperTopics — the generator's
+	// assignment rule).
+	groups := make([][]string, cfg.SuperTopics)
+	for ti, tag := range tc.Space.Topics() {
+		fam := ti % cfg.SuperTopics
+		groups[fam] = append(groups[fam], tag)
+	}
+	// Keep only tags the lake organizes.
+	organized := map[string]bool{}
+	for _, tag := range tc.Lake.Tags() {
+		organized[tag] = true
+	}
+	for i := range groups {
+		var kept []string
+		for _, tag := range groups[i] {
+			if organized[tag] {
+				kept = append(kept, tag)
+			}
+		}
+		groups[i] = kept
+	}
+	taxonomy, err := core.NewGrouped(tc.Lake, core.BuildConfig{}, groups)
+	if err != nil {
+		return nil, err
+	}
+	add("taxonomy", taxonomy)
+
+	clustered, err := core.NewClustered(tc.Lake, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	add("clustering", clustered)
+
+	optimized, err := core.NewClustered(tc.Lake, core.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Optimize(optimized, *optimizeConfig(opts, 0.1)); err != nil {
+		return nil, err
+	}
+	add("optimized", optimized)
+
+	// Sanity: the taxonomy is the "semantically right" structure — the
+	// point of the comparison is that rightness is not navigability.
+	if len(rows) != 4 {
+		return nil, fmt.Errorf("experiments: taxonomy produced %d rows", len(rows))
+	}
+	return rows, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"lakenav/internal/study"
+	"lakenav/internal/synth"
+)
+
+// UserStudy reproduces Sec 4.4: two scenarios on disjoint Socrata-like
+// lakes, 12 simulated participants, navigation vs keyword search under
+// equal budgets. The reproduction targets: H1 (no significant
+// difference in relevant-table counts), H2 (navigation result sets are
+// significantly more pairwise-disjoint than search's), and a small
+// cross-modality intersection (~5% in the paper).
+func UserStudy(opts Options) (*study.Results, error) {
+	cfg2 := socrataConfig(opts)
+	cfg2.TagPrefix = "soc2"
+	cfg3 := socrataConfig(opts)
+	cfg3.TagPrefix = "soc3"
+	cfg3.Seed = cfg2.Seed + 1000
+
+	s2, err := synth.GenerateSocrata(cfg2)
+	if err != nil {
+		return nil, err
+	}
+	s3, err := synth.GenerateSocrata(cfg3)
+	if err != nil {
+		return nil, err
+	}
+	oc := optimizeConfig(opts, 0.1)
+	dims := 5
+	if opts.Quick {
+		dims = 3
+	}
+	sc2, err := study.BuildScenario(s2, "smart-city", dims, oc, opts.Seed+21)
+	if err != nil {
+		return nil, err
+	}
+	sc3, err := study.BuildScenario(s3, "clinical-research", dims, oc, opts.Seed+22)
+	if err != nil {
+		return nil, err
+	}
+
+	scfg := study.DefaultConfig([]study.Scenario{sc2, sc3})
+	scfg.Seed = opts.Seed + 23
+	if opts.Quick {
+		scfg.NavActions = 250
+		scfg.SearchQueries = 3
+		scfg.InspectK = 5
+	}
+	res, err := study.Run(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	opts.printf("study: %d participants, 2 scenarios, latin-square modality assignment\n", scfg.Participants)
+	opts.printf("relevant tables found — navigation: max %d, search: max %d\n", res.MaxNav, res.MaxSearch)
+	opts.printf("H1 counts Mann-Whitney: U=%.1f p=%.4f (medians nav %.1f / search %.1f)\n",
+		res.CountsTest.U, res.CountsTest.P, res.CountsTest.MedianA, res.CountsTest.MedianB)
+	opts.printf("H2 disjointness Mann-Whitney: U=%.1f p=%.4f (medians nav %.3f / search %.3f)\n",
+		res.DisjointnessTest.U, res.DisjointnessTest.P,
+		res.DisjointnessTest.MedianA, res.DisjointnessTest.MedianB)
+	opts.printf("cross-modality intersection: %.1f%%\n", 100*res.CrossModalIntersection)
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package lake
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CSV ingestion: a directory of <name>.csv files, each an independent
+// table whose first row is the header. Tags come from an optional
+// sidecar <name>.meta.json of the form {"tags": ["a", "b"]}, mirroring
+// the tag metadata open-data portals expose through their APIs (Sec 3.2).
+
+type sidecarMeta struct {
+	Tags []string `json:"tags"`
+}
+
+// LoadCSVDir ingests every *.csv file under dir (non-recursive) into a
+// new lake. Files are processed in name order so lakes are reproducible.
+func LoadCSVDir(dir string) (*Lake, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lake: read dir %s: %w", dir, err)
+	}
+	var csvs []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		csvs = append(csvs, e.Name())
+	}
+	sort.Strings(csvs)
+	l := New()
+	for _, name := range csvs {
+		if err := l.addCSVFile(dir, name); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *Lake) addCSVFile(dir, name string) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("lake: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	header, cols, err := readCSVColumns(f)
+	if err != nil {
+		return fmt.Errorf("lake: parse %s: %w", path, err)
+	}
+
+	tableName := strings.TrimSuffix(name, ".csv")
+	tags, err := readSidecarTags(filepath.Join(dir, tableName+".meta.json"))
+	if err != nil {
+		return err
+	}
+
+	specs := make([]AttrSpec, len(header))
+	for i, h := range header {
+		specs[i] = AttrSpec{Name: h, Values: cols[i]}
+	}
+	l.AddTable(tableName, tags, specs...)
+	return nil
+}
+
+// readCSVColumns parses CSV content into a header and per-column value
+// slices. Ragged rows are tolerated: missing cells are skipped.
+func readCSVColumns(r io.Reader) (header []string, cols [][]string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err = cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("empty file")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cols = make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < len(rec) && i < len(header); i++ {
+			if rec[i] != "" {
+				cols[i] = append(cols[i], rec[i])
+			}
+		}
+	}
+	return header, cols, nil
+}
+
+// readSidecarTags loads tags from a sidecar metadata file; a missing
+// file yields no tags, any other error is reported.
+func readSidecarTags(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lake: read sidecar %s: %w", path, err)
+	}
+	var meta sidecarMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("lake: parse sidecar %s: %w", path, err)
+	}
+	return meta.Tags, nil
+}

@@ -1,0 +1,93 @@
+package lake
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonLake is the on-disk form of a Lake. Values are persisted; topic
+// vectors are not (they are cheap to recompute and depend on the
+// embedding model).
+type jsonLake struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Name  string     `json:"name"`
+	Tags  []string   `json:"tags,omitempty"`
+	Attrs []jsonAttr `json:"attributes"`
+}
+
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// WriteJSON serializes the lake to w.
+func (l *Lake) WriteJSON(w io.Writer) error {
+	out := jsonLake{Tables: make([]jsonTable, 0, len(l.Tables))}
+	for _, t := range l.Tables {
+		jt := jsonTable{Name: t.Name, Tags: t.Tags}
+		for _, aid := range t.Attrs {
+			a := l.Attrs[aid]
+			jt.Attrs = append(jt.Attrs, jsonAttr{Name: a.Name, Values: a.Values})
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("lake: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a lake written by WriteJSON.
+func ReadJSON(r io.Reader) (*Lake, error) {
+	var in jsonLake
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("lake: decode: %w", err)
+	}
+	l := New()
+	for _, jt := range in.Tables {
+		specs := make([]AttrSpec, 0, len(jt.Attrs))
+		for _, ja := range jt.Attrs {
+			specs = append(specs, AttrSpec{Name: ja.Name, Values: ja.Values})
+		}
+		l.AddTable(jt.Name, jt.Tags, specs...)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// SaveFile writes the lake as JSON to path.
+func (l *Lake) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lake: save %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := l.WriteJSON(f); err != nil {
+		return fmt.Errorf("lake: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a lake previously written with SaveFile.
+func LoadFile(path string) (*Lake, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lake: load %s: %w", path, err)
+	}
+	defer f.Close()
+	l, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("lake: load %s: %w", path, err)
+	}
+	return l, nil
+}

@@ -1,0 +1,145 @@
+package lake
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := buildTestLake(t)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != len(l.Tables) || len(got.Attrs) != len(l.Attrs) {
+		t.Fatalf("shape mismatch: %d/%d tables, %d/%d attrs",
+			len(got.Tables), len(l.Tables), len(got.Attrs), len(l.Attrs))
+	}
+	for i, want := range l.Tables {
+		have := got.Tables[i]
+		if have.Name != want.Name || len(have.Tags) != len(want.Tags) || len(have.Attrs) != len(want.Attrs) {
+			t.Errorf("table %d mismatch: %+v vs %+v", i, have, want)
+		}
+	}
+	for i, want := range l.Attrs {
+		have := got.Attrs[i]
+		if have.Name != want.Name || len(have.Values) != len(want.Values) || have.Text != want.Text {
+			t.Errorf("attr %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	l := buildTestLake(t)
+	path := filepath.Join(t.TempDir(), "lake.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 2 {
+		t.Errorf("tables = %d", len(got.Tables))
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "no.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "inspections.csv"),
+		"facility,score\nHarbour Grill,95\nNorth Cafe,88\n")
+	writeFile(t, filepath.Join(dir, "inspections.meta.json"),
+		`{"tags": ["food", "inspection"]}`)
+	writeFile(t, filepath.Join(dir, "plain.csv"), "name\nalpha\nbeta\n")
+	writeFile(t, filepath.Join(dir, "ignored.txt"), "nope")
+
+	l, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(l.Tables))
+	}
+	// Name-sorted: inspections before plain.
+	tb := l.Tables[0]
+	if tb.Name != "inspections" {
+		t.Fatalf("first table = %s", tb.Name)
+	}
+	if len(tb.Tags) != 2 || tb.Tags[0] != "food" {
+		t.Errorf("tags = %v", tb.Tags)
+	}
+	facility := l.Attr(tb.Attrs[0])
+	if facility.Name != "facility" || len(facility.Values) != 2 || !facility.Text {
+		t.Errorf("facility attr = %+v", facility)
+	}
+	score := l.Attr(tb.Attrs[1])
+	if score.Text {
+		t.Error("numeric score column classified as text")
+	}
+	if len(l.Tables[1].Tags) != 0 {
+		t.Errorf("tagless table has tags %v", l.Tables[1].Tags)
+	}
+}
+
+func TestLoadCSVDirRaggedRows(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "ragged.csv"), "a,b\nx\ny,z,extra\n")
+	l, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.Attr(0)
+	b := l.Attr(1)
+	if len(a.Values) != 2 || len(b.Values) != 1 {
+		t.Errorf("ragged parse: a=%v b=%v", a.Values, b.Values)
+	}
+}
+
+func TestLoadCSVDirEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "empty.csv"), "")
+	if _, err := LoadCSVDir(dir); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestLoadCSVDirBadSidecar(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "t.csv"), "a\nx\n")
+	writeFile(t, filepath.Join(dir, "t.meta.json"), "{broken")
+	if _, err := LoadCSVDir(dir); err == nil {
+		t.Error("broken sidecar accepted")
+	}
+}
+
+func TestLoadCSVDirMissing(t *testing.T) {
+	if _, err := LoadCSVDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

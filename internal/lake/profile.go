@@ -1,0 +1,148 @@
+package lake
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ValueType is the inferred type of an attribute's values.
+type ValueType int
+
+const (
+	// TypeEmpty marks attributes with no non-blank values.
+	TypeEmpty ValueType = iota
+	// TypeNumeric marks majority-parseable-as-number domains.
+	TypeNumeric
+	// TypeDate marks majority-parseable-as-date domains.
+	TypeDate
+	// TypeText is everything else — the attributes organizations are
+	// built over.
+	TypeText
+)
+
+// String returns the type name.
+func (t ValueType) String() string {
+	switch t {
+	case TypeEmpty:
+		return "empty"
+	case TypeNumeric:
+		return "numeric"
+	case TypeDate:
+		return "date"
+	case TypeText:
+		return "text"
+	}
+	return "unknown"
+}
+
+// Profile summarizes one attribute's domain, the way data-lake catalogs
+// (Goods, Aurum — see the paper's related work) profile columns before
+// any semantic processing.
+type Profile struct {
+	// Values is the total number of values including blanks.
+	Values int
+	// NullFraction is the share of blank values.
+	NullFraction float64
+	// Distinct is the number of distinct non-blank values.
+	Distinct int
+	// Uniqueness is Distinct / non-blank values (1 = key-like).
+	Uniqueness float64
+	// Type is the inferred value type.
+	Type ValueType
+	// MeanLength is the mean character length of non-blank values.
+	MeanLength float64
+	// TopValues lists up to 5 most frequent non-blank values,
+	// most frequent first (ties by value).
+	TopValues []string
+}
+
+// dateLayouts covers the formats open data portals commonly emit.
+var dateLayouts = []string{
+	"2006-01-02",
+	"2006-01-02T15:04:05",
+	"2006/01/02",
+	"01/02/2006",
+	"02.01.2006",
+	"Jan 2, 2006",
+	"2006-01-02 15:04:05",
+}
+
+func parsesAsDate(v string) bool {
+	for _, layout := range dateLayouts {
+		if _, err := time.Parse(layout, v); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func parsesAsNumber(v string) bool {
+	_, err := strconv.ParseFloat(strings.ReplaceAll(v, ",", ""), 64)
+	return err == nil
+}
+
+// ProfileValues computes a Profile for a raw value slice.
+func ProfileValues(values []string) Profile {
+	p := Profile{Values: len(values)}
+	counts := make(map[string]int)
+	var numeric, date, blank, lengthSum int
+	for _, raw := range values {
+		v := strings.TrimSpace(raw)
+		if v == "" {
+			blank++
+			continue
+		}
+		counts[v]++
+		lengthSum += len(v)
+		if parsesAsNumber(v) {
+			numeric++
+		} else if parsesAsDate(v) {
+			date++
+		}
+	}
+	nonBlank := len(values) - blank
+	if len(values) > 0 {
+		p.NullFraction = float64(blank) / float64(len(values))
+	}
+	p.Distinct = len(counts)
+	if nonBlank > 0 {
+		p.Uniqueness = float64(p.Distinct) / float64(nonBlank)
+		p.MeanLength = float64(lengthSum) / float64(nonBlank)
+	}
+	switch {
+	case nonBlank == 0:
+		p.Type = TypeEmpty
+	case float64(numeric)/float64(nonBlank) >= 0.5:
+		p.Type = TypeNumeric
+	case float64(date)/float64(nonBlank) >= 0.5:
+		p.Type = TypeDate
+	default:
+		p.Type = TypeText
+	}
+
+	type vc struct {
+		v string
+		n int
+	}
+	ranked := make([]vc, 0, len(counts))
+	for v, n := range counts {
+		ranked = append(ranked, vc{v, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	for i := 0; i < len(ranked) && i < 5; i++ {
+		p.TopValues = append(p.TopValues, ranked[i].v)
+	}
+	return p
+}
+
+// ProfileAttr profiles the attribute with the given ID.
+func (l *Lake) ProfileAttr(id AttrID) Profile {
+	return ProfileValues(l.Attrs[id].Values)
+}

@@ -1,0 +1,103 @@
+package lake
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProfileText(t *testing.T) {
+	p := ProfileValues([]string{"salmon", "trout", "salmon", "", "cod"})
+	if p.Values != 5 {
+		t.Errorf("Values = %d", p.Values)
+	}
+	if p.NullFraction != 0.2 {
+		t.Errorf("NullFraction = %v", p.NullFraction)
+	}
+	if p.Distinct != 3 {
+		t.Errorf("Distinct = %d", p.Distinct)
+	}
+	if p.Uniqueness != 0.75 {
+		t.Errorf("Uniqueness = %v", p.Uniqueness)
+	}
+	if p.Type != TypeText {
+		t.Errorf("Type = %v", p.Type)
+	}
+	if p.TopValues[0] != "salmon" {
+		t.Errorf("TopValues = %v", p.TopValues)
+	}
+}
+
+func TestProfileNumeric(t *testing.T) {
+	p := ProfileValues([]string{"1", "2.5", "1,000", "x"})
+	if p.Type != TypeNumeric {
+		t.Errorf("Type = %v", p.Type)
+	}
+}
+
+func TestProfileDate(t *testing.T) {
+	p := ProfileValues([]string{"2024-01-15", "2024-02-01", "2024/03/01", "notadate"})
+	if p.Type != TypeDate {
+		t.Errorf("Type = %v", p.Type)
+	}
+	// ISO datetime too.
+	p = ProfileValues([]string{"2024-01-15T10:30:00", "2024-01-16T11:00:00"})
+	if p.Type != TypeDate {
+		t.Errorf("datetime Type = %v", p.Type)
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	for _, vs := range [][]string{nil, {"", "  "}} {
+		p := ProfileValues(vs)
+		if p.Type != TypeEmpty {
+			t.Errorf("Type = %v for %v", p.Type, vs)
+		}
+		if p.Distinct != 0 || p.Uniqueness != 0 {
+			t.Errorf("empty profile = %+v", p)
+		}
+	}
+}
+
+func TestProfileKeyLike(t *testing.T) {
+	p := ProfileValues([]string{"id1", "id2", "id3", "id4"})
+	if p.Uniqueness != 1 {
+		t.Errorf("Uniqueness = %v, want 1", p.Uniqueness)
+	}
+}
+
+func TestProfileTopValuesCapped(t *testing.T) {
+	var vs []string
+	for i := 0; i < 20; i++ {
+		vs = append(vs, string(rune('a'+i)))
+	}
+	p := ProfileValues(vs)
+	if len(p.TopValues) != 5 {
+		t.Errorf("TopValues = %d entries", len(p.TopValues))
+	}
+	// Ties break by value: a, b, c, d, e.
+	if !reflect.DeepEqual(p.TopValues, []string{"a", "b", "c", "d", "e"}) {
+		t.Errorf("TopValues = %v", p.TopValues)
+	}
+}
+
+func TestProfileAttr(t *testing.T) {
+	l := buildTestLake(t)
+	p := l.ProfileAttr(1) // the numeric count column
+	if p.Type != TypeNumeric {
+		t.Errorf("count column type = %v", p.Type)
+	}
+}
+
+func TestValueTypeString(t *testing.T) {
+	names := map[ValueType]string{
+		TypeEmpty: "empty", TypeNumeric: "numeric", TypeDate: "date", TypeText: "text",
+	}
+	for vt, want := range names {
+		if vt.String() != want {
+			t.Errorf("%d.String() = %q", vt, vt.String())
+		}
+	}
+	if ValueType(99).String() != "unknown" {
+		t.Error("unknown type name")
+	}
+}

@@ -1,0 +1,89 @@
+package lake
+
+import (
+	"fmt"
+
+	"lakenav/internal/stats"
+)
+
+// Stats summarizes a lake the way the paper reports its datasets
+// (Sec 4.1): table/attribute/tag counts, the attribute–tag association
+// count, and the per-table distributions.
+type Stats struct {
+	Tables    int
+	Attrs     int
+	TextAttrs int
+	// EmbeddedAttrs counts text attributes with a nonzero topic vector.
+	EmbeddedAttrs int
+	Tags          int
+	// AttrTagAssociations is Σ_t |data(t)| (paper: 264,199 for Socrata).
+	AttrTagAssociations int
+	TagsPerTable        stats.Summary
+	AttrsPerTable       stats.Summary
+	// TablesWithTextAttr is the fraction of tables with at least one text
+	// attribute (paper: 92%).
+	TablesWithTextAttr float64
+	// MeanTokenCoverage is the mean per-attribute token coverage over
+	// text attributes (paper: ~70% for fastText).
+	MeanTokenCoverage float64
+}
+
+// ComputeStats derives Stats from l.
+func ComputeStats(l *Lake) Stats {
+	s := Stats{Tables: len(l.Tables), Attrs: len(l.Attrs), Tags: len(l.tags)}
+	tagsPer := make([]float64, 0, len(l.Tables))
+	attrsPer := make([]float64, 0, len(l.Tables))
+	withText := 0
+	for _, t := range l.Tables {
+		tagsPer = append(tagsPer, float64(len(t.Tags)))
+		attrsPer = append(attrsPer, float64(len(t.Attrs)))
+		hasText := false
+		for _, aid := range t.Attrs {
+			if l.Attrs[aid].Text {
+				hasText = true
+				break
+			}
+		}
+		if hasText {
+			withText++
+		}
+	}
+	var covSum float64
+	covN := 0
+	for _, a := range l.Attrs {
+		if !a.Text {
+			continue
+		}
+		s.TextAttrs++
+		if a.EmbCount > 0 {
+			s.EmbeddedAttrs++
+		}
+		if a.Coverage.Tokens > 0 {
+			covSum += a.Coverage.TokenCoverage()
+			covN++
+		}
+	}
+	for _, ids := range l.tagAttrs {
+		s.AttrTagAssociations += len(ids)
+	}
+	s.TagsPerTable = stats.Summarize(tagsPer)
+	s.AttrsPerTable = stats.Summarize(attrsPer)
+	if len(l.Tables) > 0 {
+		s.TablesWithTextAttr = float64(withText) / float64(len(l.Tables))
+	}
+	if covN > 0 {
+		s.MeanTokenCoverage = covSum / float64(covN)
+	}
+	return s
+}
+
+// String renders the stats as the multi-line block printed by cmd/lakenav.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"tables=%d attrs=%d (text=%d embedded=%d) tags=%d attr-tag-assocs=%d\n"+
+			"tables-with-text-attr=%.1f%% mean-token-coverage=%.1f%%\n"+
+			"tags/table:  %s\nattrs/table: %s",
+		s.Tables, s.Attrs, s.TextAttrs, s.EmbeddedAttrs, s.Tags, s.AttrTagAssociations,
+		100*s.TablesWithTextAttr, 100*s.MeanTokenCoverage,
+		s.TagsPerTable, s.AttrsPerTable)
+}

@@ -1,0 +1,226 @@
+// Package numeric provides quantile sketches and a distribution-aware
+// similarity for numeric attributes.
+//
+// The paper organizes text attributes only and calls out numeric
+// columns as future work: "similarity between numerical attributes
+// (measured by set overlap or Jaccard) can be very misleading"
+// (Sec 3.1), pointing at distribution-level reasoning instead. This
+// package implements that direction: a Greenwald-Khanna ε-approximate
+// quantile sketch summarizes each numeric column in sublinear space,
+// and Similarity compares two columns by the distance between their
+// quantile functions — two columns are similar when they could plausibly
+// be drawn from the same distribution, regardless of exact value
+// overlap.
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a Greenwald-Khanna ε-approximate quantile summary: any
+// quantile query is answered within ±εn ranks of the true answer while
+// storing O((1/ε)·log(εn)) tuples.
+type Sketch struct {
+	eps     float64
+	n       int
+	entries []gkEntry
+	// sinceCompress counts inserts since the last compression.
+	sinceCompress int
+	min, max      float64
+}
+
+// gkEntry is one GK tuple: value v covers g ranks, with delta slack.
+type gkEntry struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// NewSketch returns a sketch with rank error at most eps·n.
+func NewSketch(eps float64) (*Sketch, error) {
+	if eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("numeric: eps %v outside (0, 0.5)", eps)
+	}
+	return &Sketch{eps: eps, min: math.Inf(1), max: math.Inf(-1)}, nil
+}
+
+// N returns the number of inserted observations.
+func (s *Sketch) N() int { return s.n }
+
+// Size returns the number of stored tuples (for tests asserting
+// sublinear growth).
+func (s *Sketch) Size() int { return len(s.entries) }
+
+// Min and Max return the exact extremes (tracked separately).
+func (s *Sketch) Min() float64 { return s.min }
+func (s *Sketch) Max() float64 { return s.max }
+
+// Insert adds one observation.
+func (s *Sketch) Insert(v float64) {
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	idx := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].v >= v })
+	delta := 0
+	if idx > 0 && idx < len(s.entries) {
+		delta = int(2 * s.eps * float64(s.n))
+	}
+	s.entries = append(s.entries, gkEntry{})
+	copy(s.entries[idx+1:], s.entries[idx:])
+	s.entries[idx] = gkEntry{v: v, g: 1, delta: delta}
+	s.n++
+	s.sinceCompress++
+	if float64(s.sinceCompress) >= 1/(2*s.eps) {
+		s.compress()
+		s.sinceCompress = 0
+	}
+}
+
+// InsertAll adds a batch of observations.
+func (s *Sketch) InsertAll(vs ...float64) {
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
+// compress merges adjacent tuples whose combined coverage stays within
+// the 2εn band.
+func (s *Sketch) compress() {
+	if len(s.entries) < 3 {
+		return
+	}
+	budget := int(2 * s.eps * float64(s.n))
+	out := s.entries[:1]
+	for i := 1; i < len(s.entries)-1; i++ {
+		e := s.entries[i]
+		last := &out[len(out)-1]
+		// Merge last into e when allowed (standard GK merges the
+		// predecessor into the successor).
+		if len(out) > 1 && last.g+e.g+e.delta <= budget {
+			e.g += last.g
+			out[len(out)-1] = e
+		} else {
+			out = append(out, e)
+		}
+	}
+	out = append(out, s.entries[len(s.entries)-1])
+	s.entries = out
+}
+
+// Quantile returns an ε-approximate q-quantile (0 ≤ q ≤ 1). It returns
+// 0 and false on an empty sketch.
+func (s *Sketch) Quantile(q float64) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	if q <= 0 {
+		return s.min, true
+	}
+	if q >= 1 {
+		return s.max, true
+	}
+	target := int(math.Ceil(q * float64(s.n)))
+	bound := int(s.eps * float64(s.n))
+	rmin := 0
+	for i, e := range s.entries {
+		rmin += e.g
+		rmax := rmin + e.delta
+		if target-bound <= rmin && rmax <= target+bound {
+			return e.v, true
+		}
+		// Fallback: if the next tuple would overshoot, answer here.
+		if i+1 < len(s.entries) && rmin+s.entries[i+1].g > target+bound {
+			return e.v, true
+		}
+	}
+	return s.entries[len(s.entries)-1].v, true
+}
+
+// Quantiles returns k+1 evenly spaced quantiles (0/k, 1/k, …, k/k).
+func (s *Sketch) Quantiles(k int) []float64 {
+	if s.n == 0 || k < 1 {
+		return nil
+	}
+	out := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		out[i], _ = s.Quantile(float64(i) / float64(k))
+	}
+	return out
+}
+
+// Merge incorporates other into s. The merged sketch keeps practical
+// accuracy close to max(eps_s, eps_other) (the textbook GK merge bound
+// is ε₁+ε₂; a compress pass after merging keeps sizes sublinear).
+func (s *Sketch) Merge(other *Sketch) {
+	if other.n == 0 {
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	merged := make([]gkEntry, 0, len(s.entries)+len(other.entries))
+	i, j := 0, 0
+	for i < len(s.entries) && j < len(other.entries) {
+		if s.entries[i].v <= other.entries[j].v {
+			merged = append(merged, s.entries[i])
+			i++
+		} else {
+			merged = append(merged, other.entries[j])
+			j++
+		}
+	}
+	merged = append(merged, s.entries[i:]...)
+	merged = append(merged, other.entries[j:]...)
+	s.entries = merged
+	s.n += other.n
+	s.compress()
+}
+
+// Similarity compares two numeric distributions by their quantile
+// functions: 1 − the mean absolute difference of k aligned quantiles,
+// normalized by the combined value range. 1 means indistinguishable
+// distributions; 0 means maximally separated. Empty sketches are
+// similar to nothing (result 0).
+func Similarity(a, b *Sketch, k int) float64 {
+	if a.N() == 0 || b.N() == 0 {
+		return 0
+	}
+	if k < 2 {
+		k = 16
+	}
+	lo := math.Min(a.min, b.min)
+	hi := math.Max(a.max, b.max)
+	if hi == lo {
+		return 1 // both distributions are a single identical point
+	}
+	qa := a.Quantiles(k)
+	qb := b.Quantiles(k)
+	var sum float64
+	for i := range qa {
+		sum += math.Abs(qa[i] - qb[i])
+	}
+	d := sum / float64(len(qa)) / (hi - lo)
+	if d > 1 {
+		d = 1
+	}
+	return 1 - d
+}
+
+// SketchValues builds a sketch directly from parsed values; unparsable
+// entries are skipped and reported.
+func SketchValues(eps float64, values []float64) (*Sketch, error) {
+	s, err := NewSketch(eps)
+	if err != nil {
+		return nil, err
+	}
+	s.InsertAll(values...)
+	return s, nil
+}

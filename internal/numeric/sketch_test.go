@@ -1,0 +1,233 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func trueQuantile(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// rankOf returns the rank band of v in sorted data.
+func rankOf(sorted []float64, v float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(sorted, v)
+	hi = sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo + 1, hi
+}
+
+func TestNewSketchValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 0.5, 0.9} {
+		if _, err := NewSketch(eps); err == nil {
+			t.Errorf("eps %v accepted", eps)
+		}
+	}
+}
+
+func TestSketchEmptyQuantile(t *testing.T) {
+	s, _ := NewSketch(0.05)
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("empty sketch answered a quantile")
+	}
+	if s.Quantiles(4) != nil {
+		t.Error("empty sketch returned quantiles")
+	}
+}
+
+func TestSketchExactExtremes(t *testing.T) {
+	s, _ := NewSketch(0.05)
+	s.InsertAll(3, 1, 4, 1, 5, 9, 2, 6)
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if v, _ := s.Quantile(0); v != 1 {
+		t.Errorf("q0 = %v", v)
+	}
+	if v, _ := s.Quantile(1); v != 9 {
+		t.Errorf("q1 = %v", v)
+	}
+}
+
+// The GK guarantee: every quantile answer is within eps*n ranks.
+func TestSketchRankGuarantee(t *testing.T) {
+	const eps = 0.02
+	const n = 20000
+	rng := rand.New(rand.NewSource(3))
+	s, _ := NewSketch(eps)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, ok := s.Quantile(q)
+		if !ok {
+			t.Fatalf("q=%v unanswered", q)
+		}
+		target := int(math.Ceil(q * n))
+		lo, hi := rankOf(data, got)
+		slack := int(2*eps*n) + 1
+		if hi < target-slack || lo > target+slack {
+			t.Errorf("q=%v: rank band [%d, %d] vs target %d ± %d (value %v, true %v)",
+				q, lo, hi, target, slack, got, trueQuantile(data, q))
+		}
+	}
+}
+
+func TestSketchSublinearSize(t *testing.T) {
+	s, _ := NewSketch(0.05)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		s.Insert(rng.Float64())
+	}
+	if s.Size() > 2000 {
+		t.Errorf("sketch size %d not sublinear for 50k inserts at eps 0.05", s.Size())
+	}
+	if s.N() != 50000 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestSketchSortedOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		s, _ := NewSketch(0.1)
+		n := 10 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			s.Insert(rng.NormFloat64())
+		}
+		// Internal entries must stay sorted, and quantiles monotone.
+		qs := s.Quantiles(10)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, _ := NewSketch(0.02)
+	b, _ := NewSketch(0.02)
+	var all []float64
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64()
+		a.Insert(v)
+		all = append(all, v)
+	}
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64() + 1
+		b.Insert(v)
+		all = append(all, v)
+	}
+	a.Merge(b)
+	if a.N() != 10000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	sort.Float64s(all)
+	med, _ := a.Quantile(0.5)
+	trueMed := trueQuantile(all, 0.5)
+	if math.Abs(med-trueMed) > 0.2 {
+		t.Errorf("merged median %v vs true %v", med, trueMed)
+	}
+	// Merging an empty sketch is a no-op.
+	empty, _ := NewSketch(0.02)
+	before := a.N()
+	a.Merge(empty)
+	if a.N() != before {
+		t.Error("merging empty changed N")
+	}
+}
+
+func TestSimilaritySameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, _ := NewSketch(0.02)
+	b, _ := NewSketch(0.02)
+	for i := 0; i < 5000; i++ {
+		a.Insert(rng.NormFloat64())
+		b.Insert(rng.NormFloat64())
+	}
+	if s := Similarity(a, b, 32); s < 0.95 {
+		t.Errorf("same-distribution similarity = %v", s)
+	}
+}
+
+func TestSimilaritySeparatedDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, _ := NewSketch(0.02)
+	b, _ := NewSketch(0.02)
+	for i := 0; i < 5000; i++ {
+		a.Insert(rng.Float64())       // U[0,1]
+		b.Insert(100 + rng.Float64()) // U[100,101]
+	}
+	if s := Similarity(a, b, 32); s > 0.05 {
+		t.Errorf("separated similarity = %v", s)
+	}
+}
+
+// The paper's motivating failure: value-overlap metrics confuse
+// semantically unrelated numeric columns. Distribution similarity must
+// distinguish a uniform ID column from a year column even when their
+// raw value sets overlap, and must match two year columns with zero
+// value overlap.
+func TestSimilarityBeatsOverlapIntuition(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	yearsA, _ := NewSketch(0.02)
+	yearsB, _ := NewSketch(0.02)
+	ids, _ := NewSketch(0.02)
+	for i := 0; i < 4000; i++ {
+		yearsA.Insert(float64(1990 + rng.Intn(30))) // even years lake A
+		yearsB.Insert(float64(1990 + rng.Intn(30))) // years lake B
+		ids.Insert(rng.Float64() * 1e6)             // uniform IDs, overlapping range includes 1990-2020
+	}
+	same := Similarity(yearsA, yearsB, 32)
+	cross := Similarity(yearsA, ids, 32)
+	if same <= cross {
+		t.Errorf("year-year similarity %v not above year-id %v", same, cross)
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	a, _ := NewSketch(0.05)
+	b, _ := NewSketch(0.05)
+	if s := Similarity(a, b, 8); s != 0 {
+		t.Errorf("empty similarity = %v", s)
+	}
+	a.Insert(5)
+	b.Insert(5)
+	if s := Similarity(a, b, 8); s != 1 {
+		t.Errorf("identical point similarity = %v", s)
+	}
+}
+
+func TestSketchValues(t *testing.T) {
+	s, err := SketchValues(0.05, []float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if _, err := SketchValues(0, nil); err == nil {
+		t.Error("bad eps accepted")
+	}
+}

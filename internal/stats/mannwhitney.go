@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult reports the outcome of a two-sided Mann-Whitney U
+// test. The user study (Sec 4.4) uses this nonparametric test because of
+// its small sample size.
+type MannWhitneyResult struct {
+	// U is the test statistic min(U1, U2).
+	U float64
+	// U1 is the statistic attributed to the first sample.
+	U1 float64
+	// Z is the normal-approximation z-score (tie-corrected).
+	Z float64
+	// P is the two-sided p-value from the normal approximation with
+	// continuity correction.
+	P float64
+	// MedianA and MedianB are the sample medians, reported because the
+	// paper quotes medians alongside U and p.
+	MedianA, MedianB float64
+}
+
+// ErrDegenerateSample is returned when either sample is empty or all
+// pooled observations are identical (zero variance).
+var ErrDegenerateSample = errors.New("stats: degenerate sample for Mann-Whitney test")
+
+// MannWhitneyU runs a two-sided Mann-Whitney U test on samples a and b
+// using the normal approximation with tie correction and continuity
+// correction. For the study's sample sizes (n ≥ 6 per group) the normal
+// approximation is the standard choice.
+func MannWhitneyU(a, b []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, ErrDegenerateSample
+	}
+
+	type obs struct {
+		v     float64
+		group int // 0 = a, 1 = b
+	}
+	pooled := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		pooled = append(pooled, obs{v, 0})
+	}
+	for _, v := range b {
+		pooled = append(pooled, obs{v, 1})
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+
+	// Midranks with tie groups; accumulate tie correction term Σ(t³ − t).
+	ranks := make([]float64, len(pooled))
+	var tieTerm float64
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j].v == pooled[i].v {
+			j++
+		}
+		t := j - i
+		mid := float64(i+j-1)/2 + 1 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		if t > 1 {
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range pooled {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+	u := math.Min(u1, u2)
+
+	n := fn1 + fn2
+	varU := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if varU <= 0 {
+		return MannWhitneyResult{}, ErrDegenerateSample
+	}
+	meanU := fn1 * fn2 / 2
+	// Continuity correction of 0.5 toward the mean.
+	num := u - meanU
+	var z float64
+	switch {
+	case num > 0.5:
+		z = (num - 0.5) / math.Sqrt(varU)
+	case num < -0.5:
+		z = (num + 0.5) / math.Sqrt(varU)
+	default:
+		z = 0
+	}
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{
+		U:       u,
+		U1:      u1,
+		Z:       z,
+		P:       p,
+		MedianA: Median(a),
+		MedianB: Median(b),
+	}, nil
+}
+
+// normalSF is the standard normal survival function 1 − Φ(x).
+func normalSF(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}

@@ -1,0 +1,278 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"lakenav/internal/core"
+	"lakenav/internal/lake"
+)
+
+// participant is one simulated subject. Temperature models decisiveness
+// during navigation (1 follows the model's transition distribution,
+// lower is sharper); vocabFraction models how much of the scenario
+// vocabulary the subject can produce as keywords.
+type participant struct {
+	id            int
+	rng           *rand.Rand
+	temperature   float64
+	vocabFraction float64
+}
+
+func newParticipant(id int, rng *rand.Rand) *participant {
+	return &participant{
+		id:  id,
+		rng: rand.New(rand.NewSource(rng.Int63())),
+		// Temperatures in [1.5, 3.0]: humans are noisier than the
+		// transition model, so their root-to-leaf paths diverge — the
+		// study observed that "the paths which were taken by each
+		// participant while navigating an organization were very
+		// different".
+		temperature: 2.0 + 2.0*rng.Float64(),
+		// Subjects can produce 30–60% of the scenario vocabulary — the
+		// study's observation that people struggle to come up with
+		// keywords "since they did not know what was available".
+		vocabFraction: 0.3 + 0.3*rng.Float64(),
+	}
+}
+
+// navigate runs one navigation session as a stochastic depth-first
+// exploration: the subject descends by sampling the transition model
+// (tempered by their personal noise), inspects the table list at each
+// newly reached tag state, then backtracks one level and tries another
+// unexplored sibling. Committing to a region instead of restarting from
+// the root is what real browsing looks like and what makes different
+// subjects' finds diverge — the study observed that "the paths which
+// were taken by each participant ... were very different" and that
+// different users surfaced different subtopics.
+//
+// Costs: one action per click (descend or backtrack) and one action per
+// five table names scanned at a tag state. Found tables are kept when
+// actually relevant (the paper's judges removed the <1% irrelevant
+// picks, so simulated judgment is exact).
+func (p *participant) navigate(sc Scenario, budget int) []lake.TableID {
+	found := make(map[lake.TableID]bool)
+	actions := 0
+	if len(sc.Orgs.Orgs) == 0 {
+		return nil
+	}
+	// The subject works through dimensions in a personal random order.
+	dims := p.rng.Perm(len(sc.Orgs.Orgs))
+	dimIdx := 0
+	org := sc.Orgs.Orgs[dims[dimIdx]]
+	// explored marks finished states per org: tag states once read,
+	// interior states once all their children are finished.
+	explored := make(map[*core.Org]map[core.StateID]bool)
+	for _, o := range sc.Orgs.Orgs {
+		explored[o] = make(map[core.StateID]bool)
+	}
+	stack := []core.StateID{org.Root}
+
+	nextDim := func() {
+		dimIdx = (dimIdx + 1) % len(dims)
+		org = sc.Orgs.Orgs[dims[dimIdx]]
+		stack = stack[:0]
+		stack = append(stack, org.Root)
+	}
+
+	for actions < budget {
+		cur := stack[len(stack)-1]
+		s := org.State(cur)
+		done := explored[org]
+
+		if s.Kind == core.KindTag {
+			if !done[cur] {
+				done[cur] = true
+				// Read the table list under this tag.
+				probs := org.TransitionProbs(cur, sc.Intent)
+				inspect := 10
+				if inspect > len(s.Children) {
+					inspect = len(s.Children)
+				}
+				for i, ci := range p.sampleWithoutReplacement(probs, inspect) {
+					if actions >= budget {
+						break
+					}
+					if i%5 == 0 {
+						actions++ // scanning five names costs one action
+					}
+					leaf := org.State(s.Children[ci])
+					if leaf.Kind != core.KindLeaf {
+						continue
+					}
+					table := sc.Lake.Attr(leaf.Attr).Table
+					if sc.Relevant[table] {
+						found[table] = true
+					}
+				}
+			}
+			// Backtrack.
+			stack = stack[:len(stack)-1]
+			actions++
+			if len(stack) == 0 {
+				nextDim()
+			}
+			continue
+		}
+
+		// Interior state: pick an unexplored child.
+		probs := org.TransitionProbs(cur, sc.Intent)
+		open := false
+		for i, c := range s.Children {
+			if done[c] || org.State(c).Kind == core.KindLeaf {
+				probs[i] = 0
+			} else {
+				open = true
+			}
+		}
+		if !open {
+			done[cur] = true
+			stack = stack[:len(stack)-1]
+			actions++
+			if len(stack) == 0 {
+				nextDim()
+			}
+			continue
+		}
+		stack = append(stack, s.Children[p.sample(probs)])
+		actions++
+	}
+	return tableSet(found)
+}
+
+// sampleWithoutReplacement draws up to n distinct indices, each round
+// sampling from the renormalized remaining distribution under the
+// participant's temperature.
+func (p *participant) sampleWithoutReplacement(probs []float64, n int) []int {
+	remaining := append([]float64(nil), probs...)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := p.sample(remaining)
+		if remaining[i] == 0 {
+			// All mass consumed.
+			break
+		}
+		out = append(out, i)
+		remaining[i] = 0
+	}
+	return out
+}
+
+// sample draws an index from probs sharpened by the participant's
+// temperature: q_i ∝ p_i^(1/T).
+func (p *participant) sample(probs []float64) int {
+	if len(probs) == 1 {
+		return 0
+	}
+	invT := 1 / p.temperature
+	adj := make([]float64, len(probs))
+	var sum float64
+	for i, pr := range probs {
+		adj[i] = math.Pow(pr, invT)
+		sum += adj[i]
+	}
+	if sum == 0 {
+		return p.rng.Intn(len(probs))
+	}
+	u := p.rng.Float64() * sum
+	acc := 0.0
+	for i, a := range adj {
+		acc += a
+		if u <= acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// search runs one keyword-search session: queries sampled from the
+// participant's known slice of the scenario vocabulary, top-k inspected
+// per query, relevant hits kept.
+func (p *participant) search(sc Scenario, queries, k int) []lake.TableID {
+	// The participant's personal vocabulary: a deterministic-per-user
+	// subset of the scenario keywords. Because every subject samples
+	// from the same small pool, queries converge across subjects — the
+	// effect behind the paper's low search disjointness.
+	vocab := p.knownVocabulary(sc.Keywords)
+	if len(vocab) == 0 {
+		return nil
+	}
+	found := make(map[lake.TableID]bool)
+	for q := 0; q < queries; q++ {
+		// Most people issue short queries; single terms dominate.
+		terms := []int{1, 1, 1, 2, 2, 3}[p.rng.Intn(6)]
+		parts := make([]string, 0, terms)
+		seen := map[string]bool{}
+		for len(parts) < terms {
+			// Salience-biased choice: obvious words come to mind first
+			// for every subject, concentrating queries on the shared
+			// prefix of the vocabulary.
+			w := vocab[int(float64(len(vocab))*math.Pow(p.rng.Float64(), 3.0))]
+			if seen[w] {
+				if len(seen) >= len(vocab) {
+					break
+				}
+				continue
+			}
+			seen[w] = true
+			parts = append(parts, w)
+		}
+		// Query expansion (the study's semantic search engine) pulls in
+		// embedding-similar terms, which homogenizes different subjects'
+		// queries toward the same topical result sets.
+		results := sc.Index.SearchExpanded(strings.Join(parts, " "), k, sc.Store, 5, 0.6)
+		for _, r := range results {
+			id := lake.TableID(r.Doc.ID)
+			if sc.Relevant[id] {
+				found[id] = true
+			}
+		}
+	}
+	return tableSet(found)
+}
+
+// knownVocabulary returns the subject's personal keyword vocabulary.
+// The pool is salience-ordered (most obvious first) and everyone knows
+// a prefix of it plus a few idiosyncratic tail words — that shared
+// prefix is what makes different subjects' queries converge ("everyone
+// found tables tagged with the term City using search"), while the tail
+// gives each subject a little individual reach.
+func (p *participant) knownVocabulary(pool []string) []string {
+	if len(pool) == 0 {
+		return nil
+	}
+	n := int(float64(len(pool))*p.vocabFraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	prefix := (n + 1) / 2
+	if prefix > len(pool) {
+		prefix = len(pool)
+	}
+	out := append([]string(nil), pool[:prefix]...)
+	// Fill the rest from the tail at random.
+	tail := pool[prefix:]
+	idx := p.rng.Perm(len(tail))
+	for _, i := range idx {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, tail[i])
+	}
+	return out
+}
+
+func tableSet(m map[lake.TableID]bool) []lake.TableID {
+	out := make([]lake.TableID, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	// Deterministic order for reproducible reports.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

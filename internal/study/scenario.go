@@ -1,0 +1,144 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"lakenav/internal/core"
+	"lakenav/internal/embedding"
+	"lakenav/internal/lake"
+	"lakenav/internal/synth"
+	"lakenav/internal/textsearch"
+	"lakenav/vector"
+)
+
+// ScenarioFromSocrata builds a study scenario on a generated
+// Socrata-like lake. The paper's scenarios are deliberately broad
+// overview needs ("smart city", "clinical research") that span several
+// subtopics, so a scenario here covers a *central* topic plus its
+// nearest neighbour topics: relevance is ground-truthed from the
+// generator's per-table primary topic over the whole group, the intent
+// vector is the central centroid, and — crucially — the keyword pool
+// contains only the central topic's vocabulary. Participants can only
+// *search* for what they can name, but can *navigate into* subtopics
+// they didn't know existed; that asymmetry is the paper's core finding
+// ("some users found traffic monitoring data, while others found crime
+// detection data, while others found renewable energy plans").
+func ScenarioFromSocrata(s *synth.Socrata, topics []int, name string, orgs *core.MultiDim, index *textsearch.Index, keywords int) (Scenario, error) {
+	if len(topics) == 0 {
+		return Scenario{}, fmt.Errorf("study: no topics given")
+	}
+	for _, t := range topics {
+		if t < 0 || t >= s.Config.Topics {
+			return Scenario{}, fmt.Errorf("study: topic %d out of range [0, %d)", t, s.Config.Topics)
+		}
+	}
+	central := topics[0]
+	intent, ok := s.Space.Lookup(embedding.TopicName(central))
+	if !ok {
+		return Scenario{}, fmt.Errorf("study: topic %d missing from space", central)
+	}
+	inScope := make(map[int]bool, len(topics))
+	for _, t := range topics {
+		inScope[t] = true
+	}
+	relevant := make(map[lake.TableID]bool)
+	for id, t := range s.TopicOfTable {
+		if inScope[t] {
+			relevant[id] = true
+		}
+	}
+	if len(relevant) == 0 {
+		return Scenario{}, fmt.Errorf("study: scenario topics have no relevant tables")
+	}
+	if keywords < 1 {
+		keywords = 30
+	}
+	// Keyword pool: the central topic's vocabulary in salience order
+	// (word 0 is the most frequent by the generator's Zipfian usage).
+	pool := make([]string, 0, keywords)
+	for w := 0; w < keywords; w++ {
+		word := embedding.TopicWordName(central, w)
+		if s.Space.Store().Has(word) {
+			pool = append(pool, word)
+		}
+	}
+	return Scenario{
+		Name:     name,
+		Lake:     s.Lake,
+		Orgs:     orgs,
+		Index:    index,
+		Store:    s.Space.Store(),
+		Intent:   intent,
+		Keywords: pool,
+		Relevant: relevant,
+	}, nil
+}
+
+// MostPopulousTopic returns the topic with the most tables, a good
+// central subject for a broad scenario.
+func MostPopulousTopic(s *synth.Socrata) int {
+	counts := make(map[int]int)
+	for _, t := range s.TopicOfTable {
+		counts[t]++
+	}
+	best, bn := 0, -1
+	for t, n := range counts {
+		if n > bn || (n == bn && t < best) {
+			best, bn = t, n
+		}
+	}
+	return best
+}
+
+// ScenarioTopics returns the central topic plus its n most similar
+// other topics by centroid cosine — the subtopic structure of a broad
+// information need.
+func ScenarioTopics(s *synth.Socrata, central, n int) []int {
+	cv, ok := s.Space.Lookup(embedding.TopicName(central))
+	if !ok {
+		return []int{central}
+	}
+	type ts struct {
+		topic int
+		sim   float64
+	}
+	var others []ts
+	for t := 0; t < s.Config.Topics; t++ {
+		if t == central {
+			continue
+		}
+		if tv, ok := s.Space.Lookup(embedding.TopicName(t)); ok {
+			others = append(others, ts{t, vector.Cosine(cv, tv)})
+		}
+	}
+	sort.Slice(others, func(i, j int) bool {
+		if others[i].sim != others[j].sim {
+			return others[i].sim > others[j].sim
+		}
+		return others[i].topic < others[j].topic
+	})
+	out := []int{central}
+	for i := 0; i < n && i < len(others); i++ {
+		out = append(out, others[i].topic)
+	}
+	return out
+}
+
+// BuildScenario assembles the full stack for one Socrata-like lake: a
+// multi-dimensional organization, a search index, and a broad scenario
+// around the most populous topic and its 4 nearest subtopics.
+func BuildScenario(s *synth.Socrata, name string, dims int, optimize *core.OptimizeConfig, seed int64) (Scenario, error) {
+	m, _, err := core.BuildMultiDim(s.Lake, core.MultiDimConfig{
+		K:        dims,
+		Optimize: optimize,
+		Seed:     seed,
+		Parallel: true,
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+	idx := textsearch.IndexLake(s.Lake)
+	topics := ScenarioTopics(s, MostPopulousTopic(s), 4)
+	return ScenarioFromSocrata(s, topics, name, m, idx, 30)
+}

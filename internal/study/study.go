@@ -1,0 +1,278 @@
+// Package study simulates the paper's formal user study (Sec 4.4):
+// 12 participants, two information-need scenarios on disjoint lakes,
+// keyword search versus navigation under equal budgets, in a balanced
+// latin-square within-subject design.
+//
+// Human participants are unavailable to a reproduction, so the study is
+// run with simulated participants whose behaviour follows the paper's
+// own navigation model: a navigation session samples root-to-leaf walks
+// from the organization's transition distributions (with a per-user
+// temperature standing in for skill), and a search session issues
+// keyword queries sampled from a shared scenario vocabulary (the paper
+// observed that "participants used very similar keywords", which is
+// exactly what a common vocabulary pool produces) and inspects the
+// top-k BM25 results. The hypotheses under test are statements about
+// result-set sizes and overlaps under equal budgets, so the mechanism —
+// diverging navigation paths versus converging keyword choices — is
+// preserved even though the participants are synthetic.
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lakenav/internal/core"
+	"lakenav/internal/embedding"
+	"lakenav/internal/lake"
+	"lakenav/internal/stats"
+	"lakenav/internal/textsearch"
+	"lakenav/vector"
+)
+
+// Scenario is one information-need task ("find datasets about X").
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Lake is the data lake the scenario runs against.
+	Lake *lake.Lake
+	// Orgs is the navigation structure over the lake.
+	Orgs *core.MultiDim
+	// Index is the keyword-search comparator over the same lake.
+	Index *textsearch.Index
+	// Store, when non-nil, enables embedding query expansion — the
+	// study's search engine expanded keywords with GloVe-similar terms
+	// (participants could disable it; the simulation keeps it on).
+	Store *embedding.Store
+	// Intent is the scenario's topic vector (the participant's
+	// information need).
+	Intent vector.Vector
+	// Keywords is the vocabulary pool participants draw queries from.
+	Keywords []string
+	// Relevant is the ground-truth set of relevant tables.
+	Relevant map[lake.TableID]bool
+}
+
+// Config controls the study.
+type Config struct {
+	Scenarios []Scenario
+	// Participants is the number of subjects; the paper recruited 12.
+	Participants int
+	// NavActions is the per-session navigation budget (state
+	// transitions), standing in for the paper's 20 minutes.
+	NavActions int
+	// SearchQueries and InspectK bound a search session: queries issued
+	// and results inspected per query, the same time budget.
+	SearchQueries int
+	InspectK      int
+	// Seed drives participant behaviour.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's shape: 12 participants with budgets
+// that roughly balance the two modalities' discovery volume.
+func DefaultConfig(scenarios []Scenario) Config {
+	return Config{
+		Scenarios:     scenarios,
+		Participants:  12,
+		NavActions:    600,
+		SearchQueries: 3,
+		InspectK:      6,
+		Seed:          1,
+	}
+}
+
+// Modality distinguishes the two discovery techniques.
+type Modality string
+
+const (
+	// Navigation uses the organization.
+	Navigation Modality = "navigation"
+	// Search uses the BM25 keyword engine.
+	Search Modality = "search"
+)
+
+// Session is one (participant, scenario, modality) cell with the tables
+// the participant marked relevant.
+type Session struct {
+	Participant int
+	Scenario    string
+	Modality    Modality
+	Found       []lake.TableID
+}
+
+// Results aggregates the study.
+type Results struct {
+	Sessions []Session
+
+	// NavCounts and SearchCounts are relevant-table counts per session.
+	NavCounts, SearchCounts []float64
+	// MaxNav and MaxSearch are the best sessions (paper: 44 vs 34).
+	MaxNav, MaxSearch int
+
+	// NavDisjointness and SearchDisjointness are pairwise disjointness
+	// values 1 − |R∩T|/|R∪T| between same-scenario same-modality
+	// sessions (the H2 measure).
+	NavDisjointness, SearchDisjointness []float64
+	// DisjointnessTest is the Mann-Whitney comparison of the two
+	// (paper: Mdn 0.985 vs 0.916, p = 0.0019).
+	DisjointnessTest stats.MannWhitneyResult
+	// CountsTest compares per-session relevant counts (paper: no
+	// significant difference, confirming H1).
+	CountsTest stats.MannWhitneyResult
+
+	// CrossModalIntersection is |nav ∩ search| / |nav ∪ search| over
+	// all tables found per scenario, averaged (paper: ~5%).
+	CrossModalIntersection float64
+}
+
+// Run executes the study.
+func Run(cfg Config) (*Results, error) {
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("study: no scenarios")
+	}
+	if cfg.Participants < 2 {
+		return nil, fmt.Errorf("study: need at least 2 participants, got %d", cfg.Participants)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Results{}
+
+	// Balanced assignment: participant p uses modality
+	// (p + scenario index) % 2 on each scenario, so every scenario gets
+	// both modalities from half the participants each and every
+	// participant uses both modalities — the latin-square blocks of the
+	// paper collapse to this under simulation (simulated participants
+	// have no learning or fatigue order effects).
+	for p := 0; p < cfg.Participants; p++ {
+		user := newParticipant(p, rng)
+		for si, sc := range cfg.Scenarios {
+			m := Navigation
+			if (p+si)%2 == 1 {
+				m = Search
+			}
+			var found []lake.TableID
+			if m == Navigation {
+				found = user.navigate(sc, cfg.NavActions)
+			} else {
+				found = user.search(sc, cfg.SearchQueries, cfg.InspectK)
+			}
+			res.Sessions = append(res.Sessions, Session{
+				Participant: p, Scenario: sc.Name, Modality: m, Found: found,
+			})
+		}
+	}
+
+	res.aggregate(cfg)
+	return res, nil
+}
+
+// aggregate computes counts, disjointness, hypothesis tests, and the
+// cross-modality intersection.
+func (r *Results) aggregate(cfg Config) {
+	for _, s := range r.Sessions {
+		n := float64(len(s.Found))
+		if s.Modality == Navigation {
+			r.NavCounts = append(r.NavCounts, n)
+			if len(s.Found) > r.MaxNav {
+				r.MaxNav = len(s.Found)
+			}
+		} else {
+			r.SearchCounts = append(r.SearchCounts, n)
+			if len(s.Found) > r.MaxSearch {
+				r.MaxSearch = len(s.Found)
+			}
+		}
+	}
+
+	// Pairwise disjointness within (scenario, modality) cells.
+	bySession := make(map[string][]Session)
+	for _, s := range r.Sessions {
+		key := s.Scenario + "/" + string(s.Modality)
+		bySession[key] = append(bySession[key], s)
+	}
+	keys := make([]string, 0, len(bySession))
+	for k := range bySession {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := bySession[k]
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				d := Disjointness(group[i].Found, group[j].Found)
+				if group[i].Modality == Navigation {
+					r.NavDisjointness = append(r.NavDisjointness, d)
+				} else {
+					r.SearchDisjointness = append(r.SearchDisjointness, d)
+				}
+			}
+		}
+	}
+	if mw, err := stats.MannWhitneyU(r.NavDisjointness, r.SearchDisjointness); err == nil {
+		r.DisjointnessTest = mw
+	}
+	if mw, err := stats.MannWhitneyU(r.NavCounts, r.SearchCounts); err == nil {
+		r.CountsTest = mw
+	}
+
+	// Cross-modality intersection per scenario.
+	var crossSum float64
+	var crossN int
+	for _, sc := range cfg.Scenarios {
+		nav := make(map[lake.TableID]bool)
+		srch := make(map[lake.TableID]bool)
+		for _, s := range r.Sessions {
+			if s.Scenario != sc.Name {
+				continue
+			}
+			for _, t := range s.Found {
+				if s.Modality == Navigation {
+					nav[t] = true
+				} else {
+					srch[t] = true
+				}
+			}
+		}
+		inter, union := 0, len(nav)
+		for t := range srch {
+			if nav[t] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if union > 0 {
+			crossSum += float64(inter) / float64(union)
+			crossN++
+		}
+	}
+	if crossN > 0 {
+		r.CrossModalIntersection = crossSum / float64(crossN)
+	}
+}
+
+// Disjointness returns 1 − |a∩b| / |a∪b| (the paper's H2 measure); two
+// empty sets are fully disjointness-0 by convention (identical).
+func Disjointness(a, b []lake.TableID) float64 {
+	setA := make(map[lake.TableID]bool, len(a))
+	for _, t := range a {
+		setA[t] = true
+	}
+	inter, union := 0, len(setA)
+	seenB := make(map[lake.TableID]bool, len(b))
+	for _, t := range b {
+		if seenB[t] {
+			continue
+		}
+		seenB[t] = true
+		if setA[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}

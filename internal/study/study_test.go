@@ -1,0 +1,183 @@
+package study
+
+import (
+	"testing"
+
+	"lakenav/internal/core"
+	"lakenav/internal/lake"
+	"lakenav/internal/synth"
+)
+
+func buildStudyScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	cfg2 := synth.SmallSocrataConfig()
+	cfg2.TagPrefix = "soc2"
+	cfg3 := synth.SmallSocrataConfig()
+	cfg3.TagPrefix = "soc3"
+	cfg3.Seed = cfg2.Seed + 500
+
+	s2, err := synth.GenerateSocrata(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := synth.GenerateSocrata(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &core.OptimizeConfig{MaxIterations: 50}
+	sc2, err := BuildScenario(s2, "smart-city", 3, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc3, err := BuildScenario(s3, "clinical-research", 3, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scenario{sc2, sc3}
+}
+
+func TestRunStudy(t *testing.T) {
+	scenarios := buildStudyScenarios(t)
+	cfg := DefaultConfig(scenarios)
+	cfg.NavActions = 120
+	cfg.SearchQueries = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 participants × 2 scenarios = 24 sessions, half per modality.
+	if len(res.Sessions) != 24 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	if len(res.NavCounts) != 12 || len(res.SearchCounts) != 12 {
+		t.Fatalf("counts = %d nav, %d search", len(res.NavCounts), len(res.SearchCounts))
+	}
+	// Every session found only relevant tables.
+	relevant := map[string]map[lake.TableID]bool{}
+	for _, sc := range scenarios {
+		relevant[sc.Name] = sc.Relevant
+	}
+	for _, s := range res.Sessions {
+		for _, tb := range s.Found {
+			if !relevant[s.Scenario][tb] {
+				t.Fatalf("session found irrelevant table %d", tb)
+			}
+		}
+	}
+	// Both modalities find something overall.
+	var navTotal, searchTotal float64
+	for _, c := range res.NavCounts {
+		navTotal += c
+	}
+	for _, c := range res.SearchCounts {
+		searchTotal += c
+	}
+	if navTotal == 0 {
+		t.Error("navigation found nothing across all sessions")
+	}
+	if searchTotal == 0 {
+		t.Error("search found nothing across all sessions")
+	}
+	// Disjointness pairs: per scenario 6 same-modality participants →
+	// C(6,2)=15 pairs × 2 scenarios = 30 per modality.
+	if len(res.NavDisjointness) != 30 || len(res.SearchDisjointness) != 30 {
+		t.Errorf("disjointness pairs: %d nav, %d search", len(res.NavDisjointness), len(res.SearchDisjointness))
+	}
+	for _, d := range append(append([]float64{}, res.NavDisjointness...), res.SearchDisjointness...) {
+		if d < 0 || d > 1 {
+			t.Fatalf("disjointness %v out of range", d)
+		}
+	}
+	if res.CrossModalIntersection < 0 || res.CrossModalIntersection > 1 {
+		t.Errorf("cross intersection = %v", res.CrossModalIntersection)
+	}
+}
+
+func TestRunStudyDeterministic(t *testing.T) {
+	scenarios := buildStudyScenarios(t)
+	cfg := DefaultConfig(scenarios)
+	cfg.NavActions = 60
+	cfg.SearchQueries = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatal("session counts differ")
+	}
+	for i := range a.Sessions {
+		if len(a.Sessions[i].Found) != len(b.Sessions[i].Found) {
+			t.Fatalf("session %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	scenarios := buildStudyScenarios(t)
+	cfg := DefaultConfig(scenarios)
+	cfg.Participants = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("single participant accepted")
+	}
+}
+
+func TestDisjointness(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []lake.TableID
+		want float64
+	}{
+		{"identical", []lake.TableID{1, 2}, []lake.TableID{1, 2}, 0},
+		{"disjoint", []lake.TableID{1}, []lake.TableID{2}, 1},
+		{"half", []lake.TableID{1, 2}, []lake.TableID{2, 3}, 1 - 1.0/3.0},
+		{"both empty", nil, nil, 0},
+		{"one empty", []lake.TableID{1}, nil, 1},
+		{"duplicates ignored", []lake.TableID{1, 1, 2}, []lake.TableID{2, 2}, 0.5},
+	}
+	for _, tt := range tests {
+		if got := Disjointness(tt.a, tt.b); got < tt.want-1e-9 || got > tt.want+1e-9 {
+			t.Errorf("%s: Disjointness = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestScenarioFromSocrataValidation(t *testing.T) {
+	s, err := synth.GenerateSocrata(synth.SmallSocrataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioFromSocrata(s, []int{-1}, "x", nil, nil, 10); err == nil {
+		t.Error("negative topic accepted")
+	}
+	if _, err := ScenarioFromSocrata(s, []int{10_000}, "x", nil, nil, 10); err == nil {
+		t.Error("out-of-range topic accepted")
+	}
+	if _, err := ScenarioFromSocrata(s, nil, "x", nil, nil, 10); err == nil {
+		t.Error("empty topic list accepted")
+	}
+}
+
+func TestMostPopulousTopic(t *testing.T) {
+	s, err := synth.GenerateSocrata(synth.SmallSocrataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := MostPopulousTopic(s)
+	counts := map[int]int{}
+	for _, tp := range s.TopicOfTable {
+		counts[tp]++
+	}
+	for tp, n := range counts {
+		if n > counts[topic] {
+			t.Errorf("topic %d (%d tables) more populous than chosen %d (%d)",
+				tp, n, topic, counts[topic])
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lakenav/internal/embedding"
+	"lakenav/internal/lake"
+	"lakenav/internal/stats"
+)
+
+// SocrataConfig scales a Socrata-like open data lake. The paper's crawl
+// has 7,553 tables, 50,879 embedded attributes, 11,083 tags and 264,199
+// attribute–tag associations, with Zipfian tags-per-table and
+// attributes-per-table and 26% text attributes; full-scale construction
+// took the authors 12 hours, so the default here is scaled down while
+// preserving the distributions (the Scale knob makes this explicit).
+type SocrataConfig struct {
+	// Tables is the number of generated tables.
+	Tables int
+	// Topics is the number of latent topics tables draw from.
+	Topics int
+	// TagsPerTopic is the tag vocabulary size per topic; the global tag
+	// vocabulary is Topics × TagsPerTopic.
+	TagsPerTopic int
+	// MaxTagsPerTable bounds the Zipfian tags-per-table draw.
+	MaxTagsPerTable int
+	// TagZipfExponent shapes tags-per-table (majority of tables have few
+	// tags; a heavy tail has many).
+	TagZipfExponent float64
+	// MaxAttrsPerTable bounds the Zipfian attributes-per-table draw.
+	MaxAttrsPerTable int
+	// AttrZipfExponent shapes attributes-per-table.
+	AttrZipfExponent float64
+	// TextAttrFraction is the probability an attribute is textual
+	// (paper: 0.26).
+	TextAttrFraction float64
+	// MinValues and MaxValues bound text-attribute cardinality.
+	MinValues, MaxValues int
+	// OffTopicTagProb is the chance each table tag is drawn from a
+	// random topic instead of the table's primary topic, emulating the
+	// noisy and inconsistent tagging of real portals.
+	OffTopicTagProb float64
+	// Dim and Sigma shape the embedding space.
+	Dim   int
+	Sigma float64
+	// TagPrefix namespaces tag and word identities, so two lakes built
+	// with different prefixes share no tags (as Socrata-2 and Socrata-3
+	// must for the user study).
+	TagPrefix string
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultSocrataConfig returns a laptop-scale Socrata-like lake (about
+// 1/10 the paper's crawl) with the published distribution shapes.
+func DefaultSocrataConfig() SocrataConfig {
+	return SocrataConfig{
+		Tables:           750,
+		Topics:           60,
+		TagsPerTopic:     18,
+		MaxTagsPerTable:  25,
+		TagZipfExponent:  1.2,
+		MaxAttrsPerTable: 30,
+		AttrZipfExponent: 1.1,
+		TextAttrFraction: 0.26,
+		MinValues:        5,
+		MaxValues:        60,
+		OffTopicTagProb:  0.15,
+		Dim:              64,
+		Sigma:            0.3,
+		TagPrefix:        "soc",
+		Seed:             7,
+	}
+}
+
+// SmallSocrataConfig returns a reduced instance for tests.
+func SmallSocrataConfig() SocrataConfig {
+	cfg := DefaultSocrataConfig()
+	cfg.Tables = 80
+	cfg.Topics = 12
+	cfg.TagsPerTopic = 6
+	cfg.Dim = 32
+	return cfg
+}
+
+// Socrata is a generated open-data-lake instance.
+type Socrata struct {
+	Lake  *lake.Lake
+	Space *embedding.TopicSpace
+	// TopicOfTable records each table's primary latent topic index.
+	TopicOfTable map[lake.TableID]int
+	// Config echoes the generation parameters.
+	Config SocrataConfig
+}
+
+// GenerateSocrata builds a Socrata-like lake per cfg.
+func GenerateSocrata(cfg SocrataConfig) (*Socrata, error) {
+	if cfg.Tables <= 0 || cfg.Topics <= 0 || cfg.TagsPerTopic <= 0 {
+		return nil, fmt.Errorf("synth: bad socrata config %+v", cfg)
+	}
+	if cfg.MinValues < 1 || cfg.MaxValues < cfg.MinValues {
+		return nil, fmt.Errorf("synth: bad value bounds [%d, %d]", cfg.MinValues, cfg.MaxValues)
+	}
+	space, err := embedding.NewTopicSpace(embedding.TopicSpaceConfig{
+		Dim:               cfg.Dim,
+		Topics:            cfg.Topics,
+		WordsPerTopic:     cfg.MaxValues * 3,
+		Sigma:             cfg.Sigma,
+		MaxCentroidCosine: 0.5,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: socrata space: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	tagZipf, err := stats.NewZipf(cfg.MaxTagsPerTable, cfg.TagZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	attrZipf, err := stats.NewZipf(cfg.MaxAttrsPerTable, cfg.AttrZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	// Topic popularity is itself skewed: real lakes have a few dominant
+	// domains (transport, finance, health) and a long tail.
+	topicZipf, err := stats.NewZipf(cfg.Topics, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	// Within a topic, tag popularity is skewed too.
+	tagPickZipf, err := stats.NewZipf(cfg.TagsPerTopic, 1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	tagName := func(topic, i int) string {
+		return fmt.Sprintf("%s_t%03d_tag%02d", cfg.TagPrefix, topic, i)
+	}
+	wordsPerTopic := cfg.MaxValues * 3
+	// Within a topic, word usage is Zipfian — real text is — so a
+	// topic's top words appear in many of its tables. Keyword queries
+	// built from those salient words then hit overlapping result sets,
+	// the behaviour behind the user study's converging searches.
+	wordZipf, err := stats.NewZipf(wordsPerTopic, 1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Socrata{Lake: lake.New(), Space: space, TopicOfTable: make(map[lake.TableID]int), Config: cfg}
+	for ti := 0; ti < cfg.Tables; ti++ {
+		topic := topicZipf.Sample(rng) - 1
+		nTags := tagZipf.Sample(rng)
+		tagSet := make(map[string]bool, nTags)
+		var tags []string
+		for i := 0; i < nTags; i++ {
+			tTopic := topic
+			if rng.Float64() < cfg.OffTopicTagProb {
+				tTopic = rng.Intn(cfg.Topics)
+			}
+			tag := tagName(tTopic, tagPickZipf.Sample(rng)-1)
+			if !tagSet[tag] {
+				tagSet[tag] = true
+				tags = append(tags, tag)
+			}
+		}
+
+		nAttrs := attrZipf.Sample(rng)
+		specs := make([]lake.AttrSpec, 0, nAttrs)
+		for i := 0; i < nAttrs; i++ {
+			if rng.Float64() < cfg.TextAttrFraction {
+				k := cfg.MinValues + rng.Intn(cfg.MaxValues-cfg.MinValues+1)
+				values := make([]string, k)
+				for j := range values {
+					vTopic := topic
+					if rng.Float64() < 0.1 {
+						vTopic = rng.Intn(cfg.Topics)
+					}
+					values[j] = embedding.TopicWordName(vTopic, wordZipf.Sample(rng)-1)
+				}
+				specs = append(specs, lake.AttrSpec{Name: fmt.Sprintf("text%d", i), Values: values})
+			} else {
+				k := cfg.MinValues + rng.Intn(cfg.MaxValues-cfg.MinValues+1)
+				values := make([]string, k)
+				for j := range values {
+					values[j] = fmt.Sprintf("%d.%02d", rng.Intn(10000), rng.Intn(100))
+				}
+				specs = append(specs, lake.AttrSpec{Name: fmt.Sprintf("num%d", i), Values: values})
+			}
+		}
+		tbl := out.Lake.AddTable(fmt.Sprintf("%s_table%04d", cfg.TagPrefix, ti), tags, specs...)
+		out.TopicOfTable[tbl.ID] = topic
+	}
+
+	out.Lake.ComputeTopics(space)
+	if err := out.Lake.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

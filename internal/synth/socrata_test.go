@@ -1,0 +1,143 @@
+package synth
+
+import (
+	"testing"
+
+	"lakenav/internal/lake"
+)
+
+func smallSocrata(t *testing.T) *Socrata {
+	t.Helper()
+	s, err := GenerateSocrata(SmallSocrataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateSocrataShape(t *testing.T) {
+	cfg := SmallSocrataConfig()
+	s := smallSocrata(t)
+	if got := len(s.Lake.Tables); got != cfg.Tables {
+		t.Errorf("tables = %d, want %d", got, cfg.Tables)
+	}
+	if len(s.Lake.Attrs) == 0 {
+		t.Fatal("no attributes")
+	}
+	for _, tbl := range s.Lake.Tables {
+		if len(tbl.Tags) > cfg.MaxTagsPerTable {
+			t.Errorf("table %s has %d tags", tbl.Name, len(tbl.Tags))
+		}
+		if len(tbl.Attrs) < 1 || len(tbl.Attrs) > cfg.MaxAttrsPerTable {
+			t.Errorf("table %s has %d attrs", tbl.Name, len(tbl.Attrs))
+		}
+		if _, ok := s.TopicOfTable[tbl.ID]; !ok {
+			t.Errorf("table %s missing topic", tbl.Name)
+		}
+	}
+}
+
+func TestSocrataTextFraction(t *testing.T) {
+	cfg := SmallSocrataConfig()
+	s := smallSocrata(t)
+	st := lake.ComputeStats(s.Lake)
+	frac := float64(st.TextAttrs) / float64(st.Attrs)
+	if frac < cfg.TextAttrFraction-0.1 || frac > cfg.TextAttrFraction+0.1 {
+		t.Errorf("text fraction = %v, want ~%v", frac, cfg.TextAttrFraction)
+	}
+}
+
+func TestSocrataSkewedDistributions(t *testing.T) {
+	s := smallSocrata(t)
+	st := lake.ComputeStats(s.Lake)
+	// Zipfian draws: medians well below maxima.
+	if st.TagsPerTable.Median >= st.TagsPerTable.Max {
+		t.Errorf("tags/table not skewed: %+v", st.TagsPerTable)
+	}
+	if st.AttrsPerTable.Median >= st.AttrsPerTable.Max {
+		t.Errorf("attrs/table not skewed: %+v", st.AttrsPerTable)
+	}
+	if st.TagsPerTable.Median > 5 {
+		t.Errorf("median tags/table = %v, want small (paper: majority <= 25 at full scale)", st.TagsPerTable.Median)
+	}
+}
+
+func TestSocrataTextAttrsEmbedded(t *testing.T) {
+	s := smallSocrata(t)
+	missing := 0
+	total := 0
+	for _, a := range s.Lake.Attrs {
+		if !a.Text {
+			continue
+		}
+		total++
+		if a.EmbCount == 0 {
+			missing++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no text attributes")
+	}
+	if missing > 0 {
+		t.Errorf("%d/%d text attributes have no embedding", missing, total)
+	}
+}
+
+func TestSocrataDisjointLakes(t *testing.T) {
+	// Socrata-2 / Socrata-3 for the user study must share no tags.
+	cfg2 := SmallSocrataConfig()
+	cfg2.TagPrefix = "soc2"
+	cfg3 := SmallSocrataConfig()
+	cfg3.TagPrefix = "soc3"
+	cfg3.Seed = cfg2.Seed + 1000
+	s2, err := GenerateSocrata(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := GenerateSocrata(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags2 := make(map[string]bool)
+	for _, tag := range s2.Lake.Tags() {
+		tags2[tag] = true
+	}
+	for _, tag := range s3.Lake.Tags() {
+		if tags2[tag] {
+			t.Fatalf("tag %q shared between lakes", tag)
+		}
+	}
+}
+
+func TestSocrataDeterministic(t *testing.T) {
+	a := smallSocrata(t)
+	b := smallSocrata(t)
+	if len(a.Lake.Attrs) != len(b.Lake.Attrs) {
+		t.Fatal("same-seed attribute counts differ")
+	}
+	for i := range a.Lake.Attrs {
+		av, bv := a.Lake.Attrs[i].Values, b.Lake.Attrs[i].Values
+		if len(av) != len(bv) {
+			t.Fatalf("attr %d value counts differ", i)
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("attr %d value %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSocrataInvalidConfig(t *testing.T) {
+	cfg := SmallSocrataConfig()
+	cfg.Tables = 0
+	if _, err := GenerateSocrata(cfg); err == nil {
+		t.Error("Tables=0 accepted")
+	}
+	cfg = SmallSocrataConfig()
+	cfg.MaxValues = 1
+	cfg.MinValues = 5
+	if _, err := GenerateSocrata(cfg); err == nil {
+		t.Error("MaxValues < MinValues accepted")
+	}
+}

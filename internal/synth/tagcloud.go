@@ -1,0 +1,263 @@
+// Package synth generates the synthetic workloads of the paper's
+// evaluation: the TagCloud benchmark (Sec 4.1) and Socrata-like open
+// data lakes matching the reported metadata distributions. Because the
+// real crawls and pretrained embeddings are unavailable, generation is
+// grounded in a planted-topic embedding space (internal/embedding) that
+// reproduces the geometry the algorithms consume; every generator is
+// fully deterministic given its seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lakenav/internal/embedding"
+	"lakenav/internal/lake"
+	"lakenav/internal/stats"
+	"lakenav/vector"
+)
+
+// TagCloudConfig scales the TagCloud benchmark. The paper's instance is
+// 369 tables, 2,651 attributes, 365 tags, attribute cardinalities in
+// [10, 1000], and a Zipfian number of attributes per table in [1, 50].
+type TagCloudConfig struct {
+	// Tags is the number of planted tags (= topics).
+	Tags int
+	// Attributes is the total number of attributes generated.
+	Attributes int
+	// MinValues and MaxValues bound attribute cardinality.
+	MinValues, MaxValues int
+	// MaxAttrsPerTable bounds the Zipfian attributes-per-table draw.
+	MaxAttrsPerTable int
+	// ZipfExponent shapes the attributes-per-table distribution.
+	ZipfExponent float64
+	// TagZipfExponent shapes tag popularity across attributes. Small
+	// values spread attributes nearly evenly over tags.
+	TagZipfExponent float64
+	// Dim is the embedding dimension.
+	Dim int
+	// Sigma is the topic-neighbourhood noise of the embedding space.
+	Sigma float64
+	// NoiseFraction is the probability that an attribute value is drawn
+	// from a random other topic instead of the attribute's own tag
+	// neighbourhood. Real open-data tagging is inconsistent (the paper:
+	// "tags may be incomplete or inconsistent (data can be mislabeled)");
+	// noise makes tag topic vectors imperfect, which is what gives the
+	// initial agglomerative clustering bad merges for the local search
+	// to repair. Zero reproduces the perfectly clean construction.
+	NoiseFraction float64
+	// SuperTopics groups tags into correlated families (see
+	// embedding.TopicSpaceConfig.SuperTopics); zero keeps independent
+	// tags. Families make hierarchy construction nontrivial, mirroring
+	// the correlated structure of pretrained embedding spaces.
+	SuperTopics int
+	// FamilySpread is the angular spread of tags within a family.
+	FamilySpread float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// PaperTagCloudConfig returns the benchmark at the paper's published
+// scale.
+func PaperTagCloudConfig() TagCloudConfig {
+	return TagCloudConfig{
+		Tags:             365,
+		Attributes:       2651,
+		MinValues:        10,
+		MaxValues:        1000,
+		MaxAttrsPerTable: 50,
+		ZipfExponent:     1.5,
+		TagZipfExponent:  0.4,
+		Dim:              64,
+		Sigma:            0.25,
+		NoiseFraction:    0.3,
+		SuperTopics:      45,
+		FamilySpread:     0.9,
+		Seed:             1,
+	}
+}
+
+// SmallTagCloudConfig returns a reduced instance for tests and quick
+// experiments.
+func SmallTagCloudConfig() TagCloudConfig {
+	cfg := PaperTagCloudConfig()
+	cfg.Tags = 40
+	cfg.Attributes = 220
+	cfg.MaxValues = 120
+	cfg.Dim = 32
+	cfg.SuperTopics = 6
+	return cfg
+}
+
+// TagCloud is a generated benchmark instance.
+type TagCloud struct {
+	Lake  *lake.Lake
+	Space *embedding.TopicSpace
+	// TruthTag maps each attribute to its single ground-truth tag.
+	TruthTag map[lake.AttrID]string
+}
+
+// GenerateTagCloud builds a TagCloud benchmark instance per cfg.
+//
+// Construction follows Sec 4.1: tags are planted words that are mutually
+// distant in embedding space; each attribute carries exactly one tag and
+// its values are the k most similar vocabulary words to the tag
+// (k uniform in [MinValues, MaxValues]); tables group a Zipfian number
+// of attributes. Topic vectors are computed before returning.
+func GenerateTagCloud(cfg TagCloudConfig) (*TagCloud, error) {
+	if cfg.Tags <= 0 || cfg.Attributes < cfg.Tags {
+		return nil, fmt.Errorf("synth: need at least one attribute per tag (tags=%d attrs=%d)", cfg.Tags, cfg.Attributes)
+	}
+	if cfg.MinValues < 1 || cfg.MaxValues < cfg.MinValues {
+		return nil, fmt.Errorf("synth: bad value bounds [%d, %d]", cfg.MinValues, cfg.MaxValues)
+	}
+	space, err := embedding.NewTopicSpace(embedding.TopicSpaceConfig{
+		Dim:               cfg.Dim,
+		Topics:            cfg.Tags,
+		WordsPerTopic:     cfg.MaxValues,
+		Sigma:             cfg.Sigma,
+		MaxCentroidCosine: 0.5,
+		SuperTopics:       cfg.SuperTopics,
+		FamilySpread:      cfg.FamilySpread,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: tagcloud space: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Per-topic vocabulary sorted by similarity to the centroid, so the
+	// "k most similar words to the tag" is a prefix. (Centroid
+	// separation guarantees words of other topics are farther.)
+	topics := space.Topics()
+	sortedWords := make([][]string, len(topics))
+	for ti, topic := range topics {
+		cv, _ := space.Lookup(topic)
+		type ws struct {
+			w string
+			s float64
+		}
+		all := make([]ws, 0, cfg.MaxValues)
+		for w := 0; w < cfg.MaxValues; w++ {
+			word := embedding.TopicWordName(ti, w)
+			wv, _ := space.Lookup(word)
+			all = append(all, ws{word, vector.Cosine(cv, wv)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].s != all[j].s {
+				return all[i].s > all[j].s
+			}
+			return all[i].w < all[j].w
+		})
+		sortedWords[ti] = make([]string, len(all))
+		for i, e := range all {
+			sortedWords[ti][i] = e.w
+		}
+	}
+
+	// Assign a tag to every attribute: the first cfg.Tags attributes
+	// cover every tag once (the benchmark needs each tag populated), the
+	// rest follow a Zipfian popularity over tags.
+	tagZipf, err := stats.NewZipf(cfg.Tags, cfg.TagZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	attrTag := make([]int, cfg.Attributes)
+	for i := 0; i < cfg.Tags; i++ {
+		attrTag[i] = i
+	}
+	for i := cfg.Tags; i < cfg.Attributes; i++ {
+		attrTag[i] = tagZipf.Sample(rng) - 1
+	}
+	rng.Shuffle(len(attrTag), func(i, j int) { attrTag[i], attrTag[j] = attrTag[j], attrTag[i] })
+
+	// Group attributes into tables with Zipfian sizes in
+	// [1, MaxAttrsPerTable].
+	sizeZipf, err := stats.NewZipf(cfg.MaxAttrsPerTable, cfg.ZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+
+	tc := &TagCloud{Lake: lake.New(), Space: space, TruthTag: make(map[lake.AttrID]string)}
+	next := 0
+	tableNo := 0
+	for next < cfg.Attributes {
+		n := sizeZipf.Sample(rng)
+		if next+n > cfg.Attributes {
+			n = cfg.Attributes - next
+		}
+		specs := make([]lake.AttrSpec, 0, n)
+		truths := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			ti := attrTag[next+i]
+			k := cfg.MinValues + rng.Intn(cfg.MaxValues-cfg.MinValues+1)
+			if k > len(sortedWords[ti]) {
+				k = len(sortedWords[ti])
+			}
+			values := append([]string(nil), sortedWords[ti][:k]...)
+			if cfg.NoiseFraction > 0 {
+				for j := range values {
+					if rng.Float64() < cfg.NoiseFraction {
+						other := rng.Intn(cfg.Tags)
+						values[j] = sortedWords[other][rng.Intn(len(sortedWords[other]))]
+					}
+				}
+			}
+			specs = append(specs, lake.AttrSpec{
+				Name:   fmt.Sprintf("a%d", i),
+				Values: values,
+			})
+			truths = append(truths, topics[ti])
+		}
+		// Tags are associated per attribute, not per table: the
+		// benchmark's defining property is exactly one tag per attribute
+		// (Sec 4.1), which table-level inheritance would break.
+		tbl := tc.Lake.AddTable(fmt.Sprintf("d%d", tableNo), nil, specs...)
+		for i, aid := range tbl.Attrs {
+			tc.Lake.AssociateTag(aid, truths[i])
+			tc.TruthTag[aid] = truths[i]
+		}
+		next += n
+		tableNo++
+	}
+
+	tc.Lake.ComputeTopics(space)
+	if err := tc.Lake.Validate(); err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// Enrich adds to every attribute the closest tag other than its existing
+// one, reproducing the paper's "enriched TagCloud" variant that lifts
+// the least-discoverable single-attribute tables. It returns the number
+// of associations added.
+func (tc *TagCloud) Enrich() int {
+	topics := tc.Space.Topics()
+	centroids := make([]vector.Vector, len(topics))
+	for i, topic := range topics {
+		centroids[i], _ = tc.Space.Lookup(topic)
+	}
+	added := 0
+	for _, a := range tc.Lake.Attrs {
+		if a.EmbCount == 0 {
+			continue
+		}
+		own := tc.TruthTag[a.ID]
+		best, bs := -1, -2.0
+		for i, topic := range topics {
+			if topic == own {
+				continue
+			}
+			if s := vector.Cosine(a.Topic, centroids[i]); s > bs {
+				bs, best = s, i
+			}
+		}
+		if best >= 0 {
+			tc.Lake.AssociateTag(a.ID, topics[best])
+			added++
+		}
+	}
+	return added
+}

@@ -1,0 +1,136 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningEmpty(t *testing.T) {
+	r := NewRunning(3)
+	if r.Count() != 0 {
+		t.Errorf("Count = %d, want 0", r.Count())
+	}
+	m, ok := r.Mean()
+	if ok {
+		t.Error("empty Running reported a mean")
+	}
+	if !Equal(m, Vector{0, 0, 0}, 0) {
+		t.Errorf("empty mean = %v, want zero vector", m)
+	}
+}
+
+func TestRunningAdd(t *testing.T) {
+	r := NewRunning(2)
+	r.Add(Vector{1, 2})
+	r.Add(Vector{3, 4})
+	m, ok := r.Mean()
+	if !ok || !Equal(m, Vector{2, 3}, 1e-12) {
+		t.Errorf("mean = %v, ok=%v", m, ok)
+	}
+	if r.Count() != 2 {
+		t.Errorf("Count = %d, want 2", r.Count())
+	}
+	if !Equal(r.Sum(), Vector{4, 6}, 1e-12) {
+		t.Errorf("Sum = %v", r.Sum())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	a := RunningOf(2, Vector{1, 1}, Vector{3, 3})
+	b := RunningOf(2, Vector{5, 5})
+	a.Merge(b)
+	m, _ := a.Mean()
+	if !Equal(m, Vector{3, 3}, 1e-12) {
+		t.Errorf("merged mean = %v, want {3,3}", m)
+	}
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Count())
+	}
+	// b unchanged.
+	if b.Count() != 1 {
+		t.Errorf("Merge mutated source: count = %d", b.Count())
+	}
+}
+
+func TestRunningCloneIsIndependent(t *testing.T) {
+	a := RunningOf(1, Vector{2})
+	c := a.Clone()
+	c.Add(Vector{100})
+	if a.Count() != 1 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	r := RunningOf(2, Vector{9, 9})
+	r.Reset()
+	if r.Count() != 0 || !Equal(r.Sum(), Vector{0, 0}, 0) {
+		t.Error("Reset did not clear accumulator")
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Reset changed dim to %d", r.Dim())
+	}
+}
+
+func TestRunningAddWeightedNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddWeighted with negative count did not panic")
+		}
+	}()
+	NewRunning(1).AddWeighted(Vector{1}, -1)
+}
+
+// Property: merging any split of a population gives the same mean as
+// accumulating the whole population at once.
+func TestRunningMergeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 2 + r.Intn(30)
+		cut := 1 + r.Intn(n-1)
+		whole := NewRunning(4)
+		left, right := NewRunning(4), NewRunning(4)
+		for i := 0; i < n; i++ {
+			v := randomVec(r, 4)
+			whole.Add(v)
+			if i < cut {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(right)
+		wm, _ := whole.Mean()
+		lm, _ := left.Mean()
+		return whole.Count() == left.Count() && Equal(wm, lm, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningRemoveWeighted(t *testing.T) {
+	r := NewRunning(2)
+	r.AddWeighted(Vector{4, 6}, 2)
+	r.AddWeighted(Vector{1, 1}, 1)
+	r.RemoveWeighted(Vector{4, 6}, 2)
+	m, ok := r.Mean()
+	if !ok || !Equal(m, Vector{1, 1}, 1e-12) {
+		t.Errorf("mean after remove = %v, ok=%v", m, ok)
+	}
+	if r.Count() != 1 {
+		t.Errorf("count = %d, want 1", r.Count())
+	}
+}
+
+func TestRunningRemoveWeightedOverdraw(t *testing.T) {
+	r := NewRunning(1)
+	r.AddWeighted(Vector{1}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overdraw did not panic")
+		}
+	}()
+	r.RemoveWeighted(Vector{2}, 2)
+}

@@ -1,0 +1,184 @@
+// Package vector provides the dense-vector primitives used throughout
+// lakenav: dot products, cosine similarity, norms, means, and running
+// (incremental) means.
+//
+// Topic vectors in the navigation model (Nargesian et al., SIGMOD 2020,
+// Sec 3.1) are sample means of word-embedding populations, and every
+// similarity in the model is a cosine similarity between such means, so
+// these few operations are the numerical core of the whole system.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense vector of float64 components.
+type Vector []float64
+
+// ErrDimensionMismatch is returned (or caused) when two vectors of
+// different lengths are combined.
+var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
+
+// New returns a zero vector with dim components.
+func New(dim int) Vector {
+	return make(Vector, dim)
+}
+
+// Clone returns a copy of v that shares no storage with it.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the number of components.
+func (v Vector) Dim() int { return len(v) }
+
+// Dot returns the inner product of a and b.
+// It panics if the dimensions differ.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: Dot dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v Vector) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Cosine returns the cosine similarity between a and b in [-1, 1].
+// If either vector has zero norm, Cosine returns 0: a state with no
+// embedded values carries no topic signal, which the navigation model
+// treats as maximal dissimilarity from every query.
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Guard against floating-point drift outside [-1, 1].
+	if c > 1 {
+		return 1
+	}
+	if c < -1 {
+		return -1
+	}
+	return c
+}
+
+// AngularDistance returns the angle in radians between a and b,
+// i.e. acos(Cosine(a, b)), in [0, pi].
+func AngularDistance(a, b Vector) float64 {
+	return math.Acos(Cosine(a, b))
+}
+
+// Euclidean returns the Euclidean distance between a and b.
+func Euclidean(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: Euclidean dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Add returns a + b as a new vector.
+func Add(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: Add dimension mismatch %d != %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i, x := range a {
+		out[i] = x + b[i]
+	}
+	return out
+}
+
+// Sub returns a - b as a new vector.
+func Sub(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: Sub dimension mismatch %d != %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i, x := range a {
+		out[i] = x - b[i]
+	}
+	return out
+}
+
+// Scale returns v scaled by k as a new vector.
+func Scale(v Vector, k float64) Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = x * k
+	}
+	return out
+}
+
+// AddInPlace adds b into a component-wise.
+func AddInPlace(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: AddInPlace dimension mismatch %d != %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Normalize returns v scaled to unit norm. The zero vector is returned
+// unchanged (as a copy).
+func Normalize(v Vector) Vector {
+	n := Norm(v)
+	if n == 0 {
+		return v.Clone()
+	}
+	return Scale(v, 1/n)
+}
+
+// Mean returns the component-wise sample mean of vs.
+// It returns the zero value and false when vs is empty.
+func Mean(vs []Vector) (Vector, bool) {
+	if len(vs) == 0 {
+		return nil, false
+	}
+	sum := New(len(vs[0]))
+	for _, v := range vs {
+		AddInPlace(sum, v)
+	}
+	return Scale(sum, 1/float64(len(vs))), true
+}
+
+// Equal reports whether a and b have identical dimensions and all
+// components within tol of each other.
+func Equal(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if math.Abs(x-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component of v is finite (no NaN, no Inf).
+func IsFinite(v Vector) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
