@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full gate: build + vet + race-enabled tests (tools/verify.sh).
+verify:
+	sh tools/verify.sh
+
+clean:
+	$(GO) clean ./...

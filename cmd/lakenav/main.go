@@ -7,15 +7,19 @@
 //	lakenav gen -kind tagcloud|socrata -out lake.json [-quick] [-seed N]
 //	lakenav stats -lake lake.json
 //	lakenav organize -lake lake.json [-dims N] [-no-opt] [-seed N] [-export org.json]
+//	                 [-checkpoint search.ck] [-resume] [-timeout 5m]
 //	lakenav search -lake lake.json -q "query" [-k N]
 //	lakenav walk -lake lake.json -q "query" [-dims N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lakenav"
 	"lakenav/internal/synth"
@@ -132,6 +136,9 @@ func cmdOrganize(args []string) error {
 	seed := fs.Int64("seed", 1, "construction seed")
 	export := fs.String("export", "", "write the organization structure to this path")
 	tree := fs.Bool("tree", false, "print the organization outline")
+	checkpoint := fs.String("checkpoint", "", "checkpoint the search to this path (dimension i appends .dim<i>); Ctrl-C stops gracefully with the best-so-far result")
+	resume := fs.Bool("resume", false, "resume the search from -checkpoint files when present")
+	timeout := fs.Duration("timeout", 0, "optional build time budget; on expiry the best organization so far is returned")
 	fs.Parse(args)
 	l, err := loadLake(*path)
 	if err != nil {
@@ -141,9 +148,27 @@ func cmdOrganize(args []string) error {
 	cfg.Dimensions = *dims
 	cfg.Optimize = !*noOpt
 	cfg.Seed = *seed
-	org, err := lakenav.Organize(l, cfg)
+	cfg.CheckpointPath = *checkpoint
+	cfg.Resume = *resume
+	// Ctrl-C (or the -timeout budget) stops the search at its next safe
+	// boundary and falls through to reporting the best-so-far result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	org, err := lakenav.OrganizeContext(ctx, l, cfg)
 	if err != nil {
 		return err
+	}
+	if org.Truncated() {
+		msg := "search interrupted; reporting best-so-far organization"
+		if *checkpoint != "" {
+			msg += " (rerun with -resume to finish)"
+		}
+		fmt.Println(msg)
 	}
 	org.WriteReport(os.Stdout)
 	fmt.Printf("mean success probability (theta=0.9): %.4f\n", org.SuccessProbability(0))

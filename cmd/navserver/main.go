@@ -2,30 +2,90 @@
 // minimal HTML browser, the web analogue of the user-study prototype.
 //
 //	navserver -lake lake.json [-org org.json] [-dims N] [-addr :8080]
+//	          [-checkpoint search.ck] [-resume] [-max-inflight 64]
 //
 // API:
 //
 //	GET /api/node?dim=0&path=0.2.1   the node at that child-index path
 //	GET /api/suggest?dim=0&path=…&q=terms  ranked children for a query
 //	GET /api/search?q=terms&k=10     BM25 table search
+//	GET /healthz                     liveness (always 200 once listening)
+//	GET /readyz                      readiness (503 until the organization is built)
 //	GET /                            HTML browser
+//
+// The server is built to stay up: keyword search is served from the lake
+// the moment the listener is open, while the organization — when not
+// preloaded with -org — is constructed in the background and swapped in
+// atomically once ready. Request handling is wrapped in panic recovery
+// and a concurrency limit (503 on overload), the listener carries
+// read/write/idle timeouts, and SIGINT/SIGTERM drain in-flight requests
+// before exiting. A background build checkpoints to -checkpoint and a
+// restart with -resume continues it rather than starting over.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"lakenav"
 )
 
+// Request validation bounds: dotted navigation paths and result counts
+// are user input and must not be able to drive unbounded work.
+const (
+	maxPathLen      = 256
+	maxPathElems    = 64
+	maxSearchK      = 1000
+	defaultInflight = 64
+)
+
 type server struct {
-	org    *lakenav.Organization
 	search *lakenav.SearchEngine
+	// org is swapped in atomically when the background build finishes
+	// (and on any future rebuild), so request handlers never see a
+	// half-built organization and never block on construction.
+	org atomic.Pointer[lakenav.Organization]
+	// sem bounds concurrently served requests; a full semaphore sheds
+	// load with 503 instead of queueing without bound.
+	sem chan struct{}
+}
+
+func newServer(search *lakenav.SearchEngine, maxInflight int) *server {
+	if maxInflight <= 0 {
+		maxInflight = defaultInflight
+	}
+	return &server{search: search, sem: make(chan struct{}, maxInflight)}
+}
+
+func (s *server) setOrganization(org *lakenav.Organization) { s.org.Store(org) }
+
+// organization returns the currently served organization, or nil while
+// the background build is still running.
+func (s *server) organization() *lakenav.Organization { return s.org.Load() }
+
+// handler assembles the route table inside the middleware chain:
+// panic recovery outermost, then request logging, then load shedding.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/node", s.handleNode)
+	mux.HandleFunc("/api/suggest", s.handleSuggest)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/", s.handleIndex)
+	return recoverware(logware(s.limitware(mux)))
 }
 
 func main() {
@@ -33,6 +93,9 @@ func main() {
 	orgPath := flag.String("org", "", "pre-built organization JSON (skips construction)")
 	dims := flag.Int("dims", 1, "organization dimensions")
 	addr := flag.String("addr", ":8080", "listen address")
+	checkpoint := flag.String("checkpoint", "", "checkpoint the background build to this path (dimension i appends .dim<i>)")
+	resume := flag.Bool("resume", false, "resume the background build from -checkpoint files when present")
+	maxInflight := flag.Int("max-inflight", defaultInflight, "maximum concurrently served requests before shedding with 503")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -41,39 +104,170 @@ func main() {
 	if err != nil {
 		log.Fatal("navserver: ", err)
 	}
-	var org *lakenav.Organization
+	s := newServer(lakenav.NewSearchEngine(l), *maxInflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *orgPath != "" {
 		log.Printf("loading organization from %s…", *orgPath)
-		org, err = lakenav.LoadOrganization(l, *orgPath)
+		org, err := lakenav.LoadOrganization(l, *orgPath)
+		if err != nil {
+			log.Fatal("navserver: ", err)
+		}
+		s.setOrganization(org)
 	} else {
 		cfg := lakenav.DefaultConfig()
 		cfg.Dimensions = *dims
-		log.Printf("organizing %d tables…", l.Tables())
-		org, err = lakenav.Organize(l, cfg)
+		cfg.CheckpointPath = *checkpoint
+		cfg.Resume = *resume
+		log.Printf("organizing %d tables in the background…", l.Tables())
+		go func() {
+			org, err := lakenav.OrganizeContext(ctx, l, cfg)
+			if err != nil {
+				log.Printf("navserver: organize: %v (navigation unavailable; search still served)", err)
+				return
+			}
+			s.setOrganization(org)
+			if org.Truncated() {
+				log.Printf("organization build interrupted; serving best-so-far (%d dimensions)", org.Dimensions())
+				return
+			}
+			log.Printf("organization ready (%d dimensions)", org.Dimensions())
+		}()
 	}
-	if err != nil {
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
 		log.Fatal("navserver: ", err)
+	case <-ctx.Done():
 	}
-	s := &server{org: org, search: lakenav.NewSearchEngine(l)}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/node", s.handleNode)
-	mux.HandleFunc("/api/suggest", s.handleSuggest)
-	mux.HandleFunc("/api/search", s.handleSearch)
-	mux.HandleFunc("/", s.handleIndex)
-	log.Printf("listening on %s (%d dimensions)", *addr, org.Dimensions())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	stop()
+	log.Print("shutting down: draining in-flight requests…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("navserver: shutdown: %v", err)
+		srv.Close()
+	}
+	log.Print("bye")
+}
+
+// recoverware converts a handler panic into a 500 instead of killing
+// the connection (and, for panics on the main goroutine of a handler,
+// the process).
+func recoverware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("navserver: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the status code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func logware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sr.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// limitware sheds load once maxInflight requests are in flight. Health
+// probes bypass the limit: an overloaded server is still alive, and
+// orchestrators must be able to see that.
+func (s *server) limitware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.organization() == nil {
+		http.Error(w, "organization not built yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// parseDim validates the dim query parameter against the served
+// organization. An absent parameter means dimension 0.
+func parseDim(r *http.Request, org *lakenav.Organization) (int, error) {
+	raw := r.URL.Query().Get("dim")
+	if raw == "" {
+		return 0, nil
+	}
+	dim, err := strconv.Atoi(raw)
+	if err != nil || dim < 0 {
+		return 0, fmt.Errorf("bad dim %q: want a non-negative integer", raw)
+	}
+	if dim >= org.Dimensions() {
+		return 0, fmt.Errorf("dim %d out of range: organization has %d dimensions", dim, org.Dimensions())
+	}
+	return dim, nil
 }
 
 // navigateTo positions a fresh navigator at the dotted child-index path.
-func (s *server) navigateTo(dim int, path string) (*lakenav.Navigator, error) {
-	nav := s.org.Navigator()
+func navigateTo(org *lakenav.Organization, dim int, path string) (*lakenav.Navigator, error) {
+	if len(path) > maxPathLen {
+		return nil, fmt.Errorf("path longer than %d bytes", maxPathLen)
+	}
+	nav := org.Navigator()
 	nav.Reset(dim)
 	if path == "" {
 		return nav, nil
 	}
-	for _, part := range strings.Split(path, ".") {
+	parts := strings.Split(path, ".")
+	if len(parts) > maxPathElems {
+		return nil, fmt.Errorf("path deeper than %d elements", maxPathElems)
+	}
+	for _, part := range parts {
 		i, err := strconv.Atoi(part)
-		if err != nil {
+		if err != nil || i < 0 {
 			return nil, fmt.Errorf("bad path element %q", part)
 		}
 		if !nav.Descend(i) {
@@ -81,6 +275,16 @@ func (s *server) navigateTo(dim int, path string) (*lakenav.Navigator, error) {
 		}
 	}
 	return nav, nil
+}
+
+// requireOrg is the not-ready guard for navigation endpoints; search
+// endpoints work straight off the lake and never need it.
+func (s *server) requireOrg(w http.ResponseWriter) *lakenav.Organization {
+	org := s.organization()
+	if org == nil {
+		http.Error(w, "organization still building; try /api/search or retry shortly", http.StatusServiceUnavailable)
+	}
+	return org
 }
 
 type nodeResponse struct {
@@ -91,8 +295,16 @@ type nodeResponse struct {
 }
 
 func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
-	dim, _ := strconv.Atoi(r.URL.Query().Get("dim"))
-	nav, err := s.navigateTo(dim, r.URL.Query().Get("path"))
+	org := s.requireOrg(w)
+	if org == nil {
+		return
+	}
+	dim, err := parseDim(r, org)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nav, err := navigateTo(org, dim, r.URL.Query().Get("path"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -106,13 +318,21 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	dim, _ := strconv.Atoi(r.URL.Query().Get("dim"))
+	org := s.requireOrg(w)
+	if org == nil {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		http.Error(w, "missing q", http.StatusBadRequest)
 		return
 	}
-	nav, err := s.navigateTo(dim, r.URL.Query().Get("path"))
+	dim, err := parseDim(r, org)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nav, err := navigateTo(org, dim, r.URL.Query().Get("path"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -126,9 +346,14 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q", http.StatusBadRequest)
 		return
 	}
-	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
-	if k <= 0 {
-		k = 10
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		k, err = strconv.Atoi(raw)
+		if err != nil || k <= 0 || k > maxSearchK {
+			http.Error(w, fmt.Sprintf("bad k %q: want an integer in [1, %d]", raw, maxSearchK), http.StatusBadRequest)
+			return
+		}
 	}
 	writeJSON(w, s.search.Search(q, k))
 }
@@ -144,7 +369,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if err := json.NewEncoder(w).Encode(v); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
 		log.Printf("navserver: encode: %v", err)
 	}
 }
@@ -169,6 +394,11 @@ const indexHTML = `<!doctype html>
 let path = [];
 async function load() {
   const res = await fetch('/api/node?path=' + path.join('.'));
+  if (res.status === 503) {
+    document.getElementById('label').textContent = 'organization still building — retrying…';
+    setTimeout(load, 2000);
+    return;
+  }
   const node = await res.json();
   document.getElementById('label').textContent = node.here.Label + ' (' + node.here.Attrs + ' attributes)';
   document.getElementById('crumbs').textContent = 'depth ' + node.depth + (path.length ? ' — click a node to descend, ⌫ to go up' : '');

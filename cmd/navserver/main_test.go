@@ -1,15 +1,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lakenav"
 )
 
-func testServer(t *testing.T) *server {
+func testLakeAndOrg(t *testing.T) (*lakenav.Lake, *lakenav.Organization) {
 	t.Helper()
 	l := lakenav.NewLake()
 	l.AddTable("fish", []string{"fisheries"},
@@ -22,7 +28,15 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{org: org, search: lakenav.NewSearchEngine(l)}
+	return l, org
+}
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	l, org := testLakeAndOrg(t)
+	s := newServer(lakenav.NewSearchEngine(l), 0)
+	s.setOrganization(org)
+	return s
 }
 
 func get(t *testing.T, h http.HandlerFunc, url string) *httptest.ResponseRecorder {
@@ -66,10 +80,35 @@ func TestHandleNodeDescends(t *testing.T) {
 
 func TestHandleNodeBadPath(t *testing.T) {
 	s := testServer(t)
-	for _, url := range []string{"/api/node?path=zebra", "/api/node?path=999"} {
+	longPath := strings.Repeat("0.", maxPathLen) + "0"
+	deepPath := strings.TrimSuffix(strings.Repeat("0.", maxPathElems+1), ".")
+	for _, url := range []string{
+		"/api/node?path=zebra",
+		"/api/node?path=999",
+		"/api/node?path=-1",
+		"/api/node?path=" + longPath,
+		"/api/node?path=" + deepPath,
+	} {
 		if rec := get(t, s.handleNode, url); rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d", url, rec.Code)
 		}
+	}
+}
+
+func TestHandleNodeBadDim(t *testing.T) {
+	s := testServer(t)
+	for _, url := range []string{
+		"/api/node?dim=zebra",
+		"/api/node?dim=-1",
+		"/api/node?dim=99",
+		"/api/node?dim=1e3",
+	} {
+		if rec := get(t, s.handleNode, url); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", url, rec.Code)
+		}
+	}
+	if rec := get(t, s.handleNode, "/api/node?dim=0"); rec.Code != http.StatusOK {
+		t.Errorf("dim=0: status %d", rec.Code)
 	}
 }
 
@@ -109,6 +148,20 @@ func TestHandleSearch(t *testing.T) {
 	}
 }
 
+func TestHandleSearchBadK(t *testing.T) {
+	s := testServer(t)
+	for _, url := range []string{
+		"/api/search?q=salmon&k=zebra",
+		"/api/search?q=salmon&k=0",
+		"/api/search?q=salmon&k=-5",
+		"/api/search?q=salmon&k=1000000",
+	} {
+		if rec := get(t, s.handleSearch, url); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", url, rec.Code)
+		}
+	}
+}
+
 func TestHandleIndex(t *testing.T) {
 	s := testServer(t)
 	rec := get(t, s.handleIndex, "/")
@@ -120,5 +173,194 @@ func TestHandleIndex(t *testing.T) {
 	}
 	if rec := get(t, s.handleIndex, "/nope"); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown path: status %d", rec.Code)
+	}
+}
+
+// Before the background build lands an organization, navigation
+// endpoints shed with 503, /readyz says not ready, /healthz says alive,
+// and keyword search works — the org-less startup contract.
+func TestServesSearchWhileOrgBuilds(t *testing.T) {
+	l, org := testLakeAndOrg(t)
+	s := newServer(lakenav.NewSearchEngine(l), 0)
+	h := s.handler()
+
+	do := func(url string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec.Code
+	}
+	if code := do("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz before build: %d", code)
+	}
+	if code := do("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before build: %d", code)
+	}
+	if code := do("/api/node"); code != http.StatusServiceUnavailable {
+		t.Errorf("node before build: %d", code)
+	}
+	if code := do("/api/suggest?q=salmon"); code != http.StatusServiceUnavailable {
+		t.Errorf("suggest before build: %d", code)
+	}
+	if code := do("/api/search?q=salmon"); code != http.StatusOK {
+		t.Errorf("search before build: %d", code)
+	}
+
+	s.setOrganization(org)
+	if code := do("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after build: %d", code)
+	}
+	if code := do("/api/node"); code != http.StatusOK {
+		t.Errorf("node after build: %d", code)
+	}
+}
+
+// The organization pointer swap must be safe under concurrent request
+// load — this is the test the -race run pins down.
+func TestOrgSwapUnderLoad(t *testing.T) {
+	l, orgA := testLakeAndOrg(t)
+	cfg := lakenav.DefaultConfig()
+	cfg.Seed = 99
+	orgB, err := lakenav.Organize(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(lakenav.NewSearchEngine(l), 128)
+	s.setOrganization(orgA)
+	h := s.handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			urls := []string{"/api/node", "/api/node?path=0", "/api/suggest?q=salmon", "/api/search?q=wheat", "/readyz"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+				if rec.Code != http.StatusOK && rec.Code != http.StatusServiceUnavailable {
+					t.Errorf("%s during swap: %d", urls[i%len(urls)], rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			s.setOrganization(orgB)
+		} else {
+			s.setOrganization(orgA)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// A panicking handler yields a 500, not a dead connection or process.
+func TestRecoverwareConvertsPanicTo500(t *testing.T) {
+	h := recoverware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/node", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic produced status %d", rec.Code)
+	}
+}
+
+// With the semaphore full, API requests shed with 503 while health
+// probes keep answering.
+func TestLimitwareShedsLoad(t *testing.T) {
+	s := testServer(t)
+	h := s.handler()
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search?q=salmon", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("saturated server returned %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz under saturation returned %d", rec.Code)
+	}
+}
+
+// Graceful shutdown drains in-flight requests: a request that is mid-
+// handler when Shutdown is called still completes, and new connections
+// are refused afterwards.
+func TestShutdownDrainsInflight(t *testing.T) {
+	s := testServer(t)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	})
+	mux.Handle("/", s.handler())
+	srv := &http.Server{Handler: mux}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		body string
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			slow <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		slow <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must not complete while the slow request is in flight.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned (%v) with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	got := <-slow
+	if got.err != nil || got.body != "done" {
+		t.Errorf("in-flight request during shutdown: body %q, err %v", got.body, got.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("connection accepted after shutdown")
 	}
 }

@@ -1,0 +1,53 @@
+// Package atomicio provides crash-safe file writes: content lands in a
+// temp file in the destination directory, is fsynced, and is renamed
+// over the target, so readers never observe a torn or truncated file.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temp file is created in path's directory (rename must not cross
+// filesystems) and removed on any failure. The file is fsynced before
+// the rename and the directory is fsynced after it (best-effort on
+// filesystems that reject directory syncs), so a crash leaves either
+// the old content or the new content, never a mixture.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	// CreateTemp uses 0600; match the mode os.Create would have given.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync() // best-effort: the rename itself is already atomic
+		d.Close()
+	}
+	return nil
+}

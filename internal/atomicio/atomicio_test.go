@@ -1,0 +1,89 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileBasic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("content %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("mode %v, want 0644", perm)
+	}
+}
+
+// A failing write callback must leave the previous file untouched and
+// no temp file behind — the whole point of writing atomically.
+func TestWriteFileFailurePreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial new content")
+		return fmt.Errorf("simulated failure mid-write")
+	})
+	if err == nil {
+		t.Fatal("write failure swallowed")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("old content clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d entries after failed write, want 1 (no temp leftovers)", len(entries))
+	}
+}
+
+func TestWriteFileOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	for _, content := range []string{"first", "second, longer than the first"} {
+		c := content
+		if err := WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, c)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "second, longer than the first" {
+		t.Errorf("content %q", got)
+	}
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	err := WriteFile("/nonexistent-dir/x/out.txt", func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Error("bad directory accepted")
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lakenav/internal/faultinject"
+	"lakenav/internal/synth"
+)
+
+// ckOptConfig is the shared search shape for checkpoint tests: a window
+// large enough that the search does not plateau before its first
+// checkpoint, and a cadence small enough that checkpoints actually
+// happen on the small synthetic lake.
+func ckOptConfig(path string) OptimizeConfig {
+	return OptimizeConfig{
+		MaxIterations: 400,
+		Window:        200,
+		Seed:          11,
+		Checkpoint:    &CheckpointConfig{Path: path, EveryAccepted: 3},
+	}
+}
+
+func checkpointLakeOrg(t *testing.T) (*synth.TagCloud, *Org) {
+	t.Helper()
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, o
+}
+
+// The acceptance property of the whole checkpoint design: kill a search
+// mid-flight with context cancellation, resume it from its checkpoint
+// file, and the final organization is identical — not merely close — to
+// the one an uninterrupted run with the same seed produces.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	pathU := filepath.Join(dir, "uninterrupted.ck")
+	pathI := filepath.Join(dir, "interrupted.ck")
+
+	// Uninterrupted reference run.
+	_, orgU0 := checkpointLakeOrg(t)
+	orgU, statsU, err := OptimizeContext(context.Background(), orgU0, ckOptConfig(pathU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsU.Truncated {
+		t.Fatal("uninterrupted run reported truncated")
+	}
+	if statsU.Checkpoints == 0 {
+		t.Fatal("reference run never checkpointed; the test would prove nothing " +
+			"(lower EveryAccepted or raise Window)")
+	}
+
+	// Interrupted run: cancel at the first iteration after a checkpoint
+	// file exists, so some post-checkpoint work is genuinely lost.
+	tcI, orgI0 := checkpointLakeOrg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfgI := ckOptConfig(pathI)
+	cfgI.Probe = faultinject.CancelWhen(cancel, func() bool {
+		_, err := os.Stat(pathI)
+		return err == nil
+	})
+	orgHalf, statsHalf, err := OptimizeContext(ctx, orgI0, cfgI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statsHalf.Truncated {
+		t.Fatal("canceled run not marked truncated")
+	}
+	// Graceful degradation: the truncated result is still a valid, usable
+	// organization no worse than the starting point.
+	if err := orgHalf.Validate(); err != nil {
+		t.Fatalf("truncated organization invalid: %v", err)
+	}
+	if statsHalf.FinalEff < statsHalf.InitialEff-1e-12 {
+		t.Errorf("truncated run below initial effectiveness: %v -> %v",
+			statsHalf.InitialEff, statsHalf.FinalEff)
+	}
+
+	// Resume from the file and run to completion.
+	ck, err := LoadCheckpoint(pathI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgR, statsR, err := ResumeOptimizeContext(context.Background(), tcI.Lake, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statsR.Resumed {
+		t.Error("resumed run not marked resumed")
+	}
+	if statsR.Truncated {
+		t.Error("resumed run marked truncated")
+	}
+
+	if d := math.Abs(statsR.FinalEff - statsU.FinalEff); d > 1e-9 {
+		t.Errorf("resumed final eff %v != uninterrupted %v (diff %v)",
+			statsR.FinalEff, statsU.FinalEff, d)
+	}
+	if statsR.Iterations != statsU.Iterations ||
+		statsR.Accepted != statsU.Accepted ||
+		statsR.Rejected != statsU.Rejected {
+		t.Errorf("resumed trajectory diverged: %d/%d/%d vs %d/%d/%d (iter/acc/rej)",
+			statsR.Iterations, statsR.Accepted, statsR.Rejected,
+			statsU.Iterations, statsU.Accepted, statsU.Rejected)
+	}
+	bu, err := json.Marshal(orgU.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := json.Marshal(orgR.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bu) != string(br) {
+		t.Error("resumed organization structure differs from uninterrupted run")
+	}
+}
+
+// A search canceled before it starts returns its input organization
+// untouched — truncated, never an error.
+func TestOptimizeContextPreCanceled(t *testing.T) {
+	_, o := checkpointLakeOrg(t)
+	before := o.Effectiveness()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, stats, err := OptimizeContext(ctx, o, OptimizeConfig{MaxIterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Error("pre-canceled run not truncated")
+	}
+	if stats.Iterations != 0 {
+		t.Errorf("pre-canceled run iterated %d times", stats.Iterations)
+	}
+	if math.Abs(got.Effectiveness()-before) > 1e-12 {
+		t.Errorf("pre-canceled run changed effectiveness: %v -> %v", before, got.Effectiveness())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CancelAtIteration stops the search at a chosen iteration boundary.
+func TestOptimizeContextCancelAtIteration(t *testing.T) {
+	_, o := checkpointLakeOrg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, stats, err := OptimizeContext(ctx, o, OptimizeConfig{
+		MaxIterations: 400,
+		Window:        200,
+		Seed:          5,
+		Probe:         faultinject.CancelAtIteration(cancel, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("canceled run not truncated")
+	}
+	// The probe fires after iteration 10; the search stops at the next
+	// boundary check, so only a handful of extra iterations may complete.
+	if stats.Iterations < 10 || stats.Iterations > 15 {
+		t.Errorf("canceled run did %d iterations, want ~10", stats.Iterations)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeRejectsCheckpointConfig(t *testing.T) {
+	_, o := checkpointLakeOrg(t)
+	_, err := Optimize(o, OptimizeConfig{Checkpoint: &CheckpointConfig{Path: "x"}})
+	if err == nil {
+		t.Error("Optimize accepted a checkpoint config")
+	}
+}
+
+// Torn and tampered checkpoint files must fail loading cleanly, never
+// panic or resume from garbage.
+func TestLoadCheckpointRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ck")
+
+	tc, o := checkpointLakeOrg(t)
+	_ = tc
+	ck := &Checkpoint{
+		Version:    checkpointVersion,
+		Config:     SearchConfig{MaxIterations: 10, Window: 5, Seed: 1},
+		Iterations: 4, Accepted: 3, Rejected: 1,
+		Current: o.Export(),
+	}
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Iterations != 4 || loaded.Accepted != 3 || loaded.Config.Seed != 1 {
+		t.Errorf("round trip lost fields: %+v", loaded)
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.ck")); err == nil {
+		t.Error("missing file loaded")
+	}
+
+	// Torn mid-write (non-atomic writer crash simulation).
+	torn := filepath.Join(dir, "torn.ck")
+	if err := faultinject.TornCopy(path, torn, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(torn); err == nil {
+		t.Error("torn checkpoint loaded")
+	}
+
+	// Truncated in place.
+	trunc := filepath.Join(dir, "trunc.ck")
+	if err := faultinject.TornCopy(path, trunc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faultinject.TruncateFile(trunc, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(trunc); err == nil {
+		t.Error("truncated checkpoint loaded")
+	}
+
+	// Tampered fields that pass JSON decoding but fail validation.
+	tamper := func(name string, mutate func(*Checkpoint)) {
+		t.Helper()
+		bad := *ck
+		mutate(&bad)
+		p := filepath.Join(dir, name)
+		data, err := json.Marshal(&bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil {
+			t.Errorf("%s loaded", name)
+		}
+	}
+	tamper("badversion.ck", func(c *Checkpoint) { c.Version = 99 })
+	tamper("noorg.ck", func(c *Checkpoint) { c.Current = nil })
+	tamper("negative.ck", func(c *Checkpoint) { c.Accepted = -1 })
+	tamper("inconsistent.ck", func(c *Checkpoint) { c.Accepted = 100 })
+}
+
+func TestCheckpointMatchesDimension(t *testing.T) {
+	ck := &Checkpoint{Dim: 1, TagGroup: []string{"a", "b"}}
+	if !ck.MatchesDimension(1, []string{"a", "b"}) {
+		t.Error("matching dimension rejected")
+	}
+	if ck.MatchesDimension(0, []string{"a", "b"}) {
+		t.Error("wrong dim accepted")
+	}
+	if ck.MatchesDimension(1, []string{"a"}) {
+		t.Error("short tag group accepted")
+	}
+	if ck.MatchesDimension(1, []string{"a", "c"}) {
+		t.Error("different tag group accepted")
+	}
+}
+
+// Multi-dimensional builds degrade and resume the same way: cancel a
+// build mid-optimization, then rerun with Resume and get a final
+// organization identical to a never-interrupted build.
+func TestBuildMultiDimContextCancelAndResume(t *testing.T) {
+	dir := t.TempDir()
+	baseU := filepath.Join(dir, "multi-uninterrupted.ck")
+	baseI := filepath.Join(dir, "multi-interrupted.ck")
+
+	opt := OptimizeConfig{MaxIterations: 400, Window: 200}
+	mk := func(base string) MultiDimConfig {
+		o := opt
+		return MultiDimConfig{
+			K:          2,
+			Optimize:   &o,
+			Seed:       7,
+			Checkpoint: &CheckpointConfig{Path: base, EveryAccepted: 3},
+		}
+	}
+
+	// Uninterrupted reference.
+	tcU, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mU, _, err := BuildMultiDimContext(context.Background(), tcU.Lake, mk(baseU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mU.Truncated {
+		t.Fatal("uninterrupted multidim build truncated")
+	}
+	for i := range mU.Orgs {
+		if _, err := os.Stat(DimCheckpointPath(baseU, i)); !os.IsNotExist(err) {
+			t.Errorf("dimension %d checkpoint survived a clean build", i)
+		}
+	}
+
+	// Interrupted build: cancel once any dimension has checkpointed.
+	tcI, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfgI := mk(baseI)
+	cfgI.Optimize.Probe = faultinject.CancelWhen(cancel, func() bool {
+		for i := 0; i < 2; i++ {
+			if _, err := os.Stat(DimCheckpointPath(baseI, i)); err == nil {
+				return true
+			}
+		}
+		return false
+	})
+	mHalf, _, err := BuildMultiDimContext(ctx, tcI.Lake, cfgI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mHalf.Truncated {
+		t.Fatal("canceled multidim build not truncated")
+	}
+	for _, o := range mHalf.Orgs {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("truncated dimension invalid: %v", err)
+		}
+	}
+
+	// Resume to completion.
+	cfgR := mk(baseI)
+	cfgR.Resume = true
+	mR, _, err := BuildMultiDimContext(context.Background(), tcI.Lake, cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mR.Truncated {
+		t.Fatal("resumed multidim build truncated")
+	}
+	if d := math.Abs(mR.Effectiveness() - mU.Effectiveness()); d > 1e-9 {
+		t.Errorf("resumed multidim eff %v != uninterrupted %v (diff %v)",
+			mR.Effectiveness(), mU.Effectiveness(), d)
+	}
+}
+
+// Resume gating: a checkpoint for the wrong seed or tag group is
+// silently ignored and the dimension rebuilds from scratch.
+func TestResumeIgnoresIncompatibleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "gate.ck")
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint stamped with an alien tag group under dimension 0's
+	// path.
+	ck := &Checkpoint{
+		Version:  checkpointVersion,
+		Dim:      0,
+		TagGroup: []string{"not", "your", "tags"},
+		Config:   SearchConfig{MaxIterations: 10, Window: 5, Seed: 999},
+		Current:  o.Export(),
+	}
+	if err := SaveCheckpoint(DimCheckpointPath(base, 0), ck); err != nil {
+		t.Fatal(err)
+	}
+	opt := OptimizeConfig{MaxIterations: 60}
+	m, _, err := BuildMultiDimContext(context.Background(), tc.Lake, MultiDimConfig{
+		K:          1,
+		Optimize:   &opt,
+		Seed:       7,
+		Checkpoint: &CheckpointConfig{Path: base, EveryAccepted: 1000},
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatalf("incompatible checkpoint failed the build: %v", err)
+	}
+	if m.Truncated {
+		t.Error("fresh build truncated")
+	}
+	for _, o := range m.Orgs {
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

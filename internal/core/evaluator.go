@@ -325,19 +325,24 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	return ev.eff
 }
 
-// Commit accepts the last Reevaluate.
-func (ev *Evaluator) Commit() {
+// Commit accepts the last Reevaluate. Calling it without a pending
+// Reevaluate is a sequencing error reported as an error value (not a
+// panic): a long-running service embedding the evaluator should log
+// and recover, not crash.
+func (ev *Evaluator) Commit() error {
 	if !ev.pending {
-		panic("core: Commit without Reevaluate")
+		return fmt.Errorf("core: Commit without a pending Reevaluate")
 	}
 	ev.pending = false
+	return nil
 }
 
 // Rollback restores the cached state from before the last Reevaluate.
-// The organization itself must be restored separately (Org.Undo).
-func (ev *Evaluator) Rollback() {
+// The organization itself must be restored separately (Org.Undo). Like
+// Commit it reports misuse as an error value.
+func (ev *Evaluator) Rollback() error {
 	if !ev.pending {
-		panic("core: Rollback without Reevaluate")
+		return fmt.Errorf("core: Rollback without a pending Reevaluate")
 	}
 	for i := len(ev.savedReach) - 1; i >= 0; i-- {
 		c := ev.savedReach[i]
@@ -349,6 +354,7 @@ func (ev *Evaluator) Rollback() {
 	}
 	ev.eff = ev.savedEff
 	ev.pending = false
+	return nil
 }
 
 // TotalStates returns the number of live non-leaf states (the

@@ -230,13 +230,20 @@ func TestApproximateEvaluatorNeedsRNG(t *testing.T) {
 	}
 }
 
-func TestReevaluateDoubleCommitPanics(t *testing.T) {
+func TestCommitRollbackMisuseReturnsError(t *testing.T) {
 	o := clusteredOrg(t)
 	ev := exactEvaluator(t, o)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Commit without Reevaluate did not panic")
-		}
-	}()
-	ev.Commit()
+	if err := ev.Commit(); err == nil {
+		t.Error("Commit without Reevaluate returned nil error")
+	}
+	if err := ev.Rollback(); err == nil {
+		t.Error("Rollback without Reevaluate returned nil error")
+	}
+	// Misuse must not corrupt the evaluator: a normal cycle still works.
+	cs := o.BeginChanges()
+	o.EndChanges()
+	ev.Reevaluate(cs)
+	if err := ev.Commit(); err != nil {
+		t.Errorf("Commit after Reevaluate: %v", err)
+	}
 }

@@ -85,10 +85,12 @@ func (f *Feedback) Observations() float64 {
 
 // Decay multiplies every count by factor in (0, 1], forgetting old
 // behaviour exponentially. Rows that decay below a small epsilon are
-// dropped.
-func (f *Feedback) Decay(factor float64) {
+// dropped. A factor outside (0, 1] is rejected with an error — servers
+// feed this knob from configuration and request input, so misuse must
+// not crash the process.
+func (f *Feedback) Decay(factor float64) error {
 	if factor <= 0 || factor > 1 {
-		panic(fmt.Sprintf("core: decay factor %v outside (0, 1]", factor))
+		return fmt.Errorf("core: decay factor %v outside (0, 1]", factor)
 	}
 	const eps = 1e-9
 	for parent, row := range f.counts {
@@ -108,6 +110,7 @@ func (f *Feedback) Decay(factor float64) {
 		}
 		f.totals[parent] = total
 	}
+	return nil
 }
 
 // TransitionProbs returns the blended transition distribution from s

@@ -137,12 +137,14 @@ func TestFeedbackDecay(t *testing.T) {
 func TestFeedbackDecayValidation(t *testing.T) {
 	o := feedbackOrg(t)
 	f, _ := NewFeedback(o, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Decay(0) did not panic")
+	for _, factor := range []float64{0, -0.5, 1.5} {
+		if err := f.Decay(factor); err == nil {
+			t.Errorf("Decay(%v) returned nil error", factor)
 		}
-	}()
-	f.Decay(0)
+	}
+	if err := f.Decay(1); err != nil {
+		t.Errorf("Decay(1): %v", err)
+	}
 }
 
 func TestFeedbackReachProbs(t *testing.T) {

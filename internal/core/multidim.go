@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 
@@ -20,6 +22,11 @@ type MultiDim struct {
 	Orgs []*Org
 	// TagGroups[i] lists the tags of dimension i.
 	TagGroups [][]string
+	// Truncated marks a build whose optimization was stopped early by
+	// context cancellation: every dimension is structurally valid, but
+	// at least one carries its best-so-far rather than converged search
+	// result.
+	Truncated bool
 }
 
 // MultiDimConfig controls multi-dimensional construction.
@@ -38,6 +45,22 @@ type MultiDimConfig struct {
 	// Parallel optimizes dimensions concurrently, as the paper does
 	// ("dimensions are optimized independently and in parallel").
 	Parallel bool
+	// Checkpoint enables per-dimension optimizer checkpointing (it
+	// requires Optimize != nil): dimension i writes atomically to
+	// Checkpoint.Path + ".dim<i>". A dimension that finishes its search
+	// uninterrupted removes its file.
+	Checkpoint *CheckpointConfig
+	// Resume, together with Checkpoint, resumes any dimension whose
+	// checkpoint file exists, parses, and matches the dimension's tag
+	// group; stale or corrupt files are ignored and the dimension is
+	// rebuilt from scratch — resume never fails a build.
+	Resume bool
+}
+
+// DimCheckpointPath returns the checkpoint file used for dimension dim
+// under a base path.
+func DimCheckpointPath(base string, dim int) string {
+	return fmt.Sprintf("%s.dim%d", base, dim)
 }
 
 // BuildMultiDim partitions the lake's organizable tags into cfg.K groups
@@ -46,6 +69,17 @@ type MultiDimConfig struct {
 // organization and per-dimension search stats (nil entries when
 // optimization is skipped).
 func BuildMultiDim(l *lake.Lake, cfg MultiDimConfig) (*MultiDim, []*OptimizeStats, error) {
+	return BuildMultiDimContext(context.Background(), l, cfg)
+}
+
+// BuildMultiDimContext is BuildMultiDim with cancellation and
+// checkpoint/resume support. Cancellation degrades gracefully: the
+// clustered initialization of every dimension always completes (it is
+// the cheap phase), the local searches stop at their next safe
+// iteration boundary, and the result is a fully valid — if less
+// optimized — organization with Truncated set. An error is returned
+// only for real construction failures, never for cancellation.
+func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig) (*MultiDim, []*OptimizeStats, error) {
 	if cfg.K < 1 {
 		return nil, nil, fmt.Errorf("core: multidim K must be >= 1, got %d", cfg.K)
 	}
@@ -114,21 +148,43 @@ func BuildMultiDim(l *lake.Lake, cfg MultiDimConfig) (*MultiDim, []*OptimizeStat
 	buildOne := func(i int) {
 		bc := cfg.Build
 		bc.Tags = groups[i]
-		o, err := NewClustered(l, bc)
-		if err != nil {
-			errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
+		if cfg.Optimize == nil {
+			o, err := NewClustered(l, bc)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
+				return
+			}
+			m.Orgs[i] = o
 			return
 		}
-		if cfg.Optimize != nil {
-			oc := *cfg.Optimize
-			oc.Seed = cfg.Seed + int64(i)*7919
-			st, err := Optimize(o, oc)
+		oc := *cfg.Optimize
+		oc.Seed = cfg.Seed + int64(i)*7919
+		if cfg.Checkpoint != nil {
+			cc := *cfg.Checkpoint
+			cc.Path = DimCheckpointPath(cfg.Checkpoint.Path, i)
+			cc.Dim = i
+			cc.TagGroup = groups[i]
+			oc.Checkpoint = &cc
+		}
+		o, st := resumeDimension(ctx, l, i, groups[i], oc, cfg.Resume)
+		if o == nil {
+			built, err := NewClustered(l, bc)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
+				return
+			}
+			o, st, err = OptimizeContext(ctx, built, oc)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: dimension %d optimize: %w", i, err)
 				return
 			}
-			stats[i] = st
 		}
+		if oc.Checkpoint != nil && oc.Checkpoint.Path != "" && !st.Truncated {
+			// The search converged; the checkpoint has served its
+			// purpose and must not seed a future unrelated build.
+			os.Remove(oc.Checkpoint.Path)
+		}
+		stats[i] = st
 		m.Orgs[i] = o
 	}
 
@@ -163,7 +219,32 @@ func BuildMultiDim(l *lake.Lake, cfg MultiDimConfig) (*MultiDim, []*OptimizeStat
 			return nil, nil, err
 		}
 	}
+	for _, st := range stats {
+		if st != nil && st.Truncated {
+			m.Truncated = true
+		}
+	}
 	return m, stats, nil
+}
+
+// resumeDimension tries to continue dimension i from its checkpoint
+// file. Any failure — missing file, torn JSON, wrong dimension or tag
+// group, an import that no longer matches the lake — returns (nil, nil)
+// and the caller rebuilds from scratch; a checkpoint can speed a
+// restart up but can never break one.
+func resumeDimension(ctx context.Context, l *lake.Lake, dim int, tags []string, oc OptimizeConfig, resume bool) (*Org, *OptimizeStats) {
+	if !resume || oc.Checkpoint == nil || oc.Checkpoint.Path == "" {
+		return nil, nil
+	}
+	ck, err := LoadCheckpoint(oc.Checkpoint.Path)
+	if err != nil || !ck.MatchesDimension(dim, tags) || ck.Config.Seed != oc.Seed {
+		return nil, nil
+	}
+	o, st, err := ResumeOptimizeContext(ctx, l, ck)
+	if err != nil {
+		return nil, nil
+	}
+	return o, st
 }
 
 // AttrProbs returns P(A|M) for every attribute reachable in any

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"lakenav/internal/lake"
 	"lakenav/vector"
 )
 
@@ -45,6 +47,16 @@ type OptimizeConfig struct {
 	AcceptExponent float64
 	// Seed drives proposal and acceptance randomness.
 	Seed int64
+	// Checkpoint, when non-nil, periodically snapshots the search so a
+	// killed build can resume where it left off (ResumeOptimizeContext).
+	// Only OptimizeContext supports it: resuming and boundary
+	// reconstruction may return a different *Org than the input.
+	Checkpoint *CheckpointConfig
+	// Probe, when non-nil, is invoked after every completed iteration
+	// with the running iteration count. It exists for fault-injection
+	// tests (cancel at iteration k, latency injection); production
+	// callers leave it nil.
+	Probe func(iteration int)
 }
 
 func (c *OptimizeConfig) defaults() {
@@ -63,6 +75,26 @@ func (c *OptimizeConfig) defaults() {
 	if c.AcceptExponent == 0 {
 		c.AcceptExponent = -1 // greedy
 	}
+	if c.Checkpoint != nil {
+		c.Checkpoint.defaults()
+	}
+}
+
+// savedConfig is the checkpointed form of the trajectory-shaping knobs.
+func (c *OptimizeConfig) savedConfig() SearchConfig {
+	sc := SearchConfig{
+		RepFraction:       c.RepFraction,
+		MaxIterations:     c.MaxIterations,
+		Window:            c.Window,
+		MinRelImprovement: c.MinRelImprovement,
+		LeafProposals:     c.LeafProposals,
+		AcceptExponent:    c.AcceptExponent,
+		Seed:              c.Seed,
+	}
+	if c.Checkpoint != nil {
+		sc.CheckpointEvery = c.Checkpoint.EveryAccepted
+	}
+	return sc
 }
 
 // OptimizeStats reports what the search did; the per-iteration visit
@@ -74,6 +106,15 @@ type OptimizeStats struct {
 	InitialEff float64
 	FinalEff   float64
 	Duration   time.Duration
+	// Truncated marks a search stopped early by context cancellation or
+	// deadline: the returned organization is the best one seen so far,
+	// not the converged result.
+	Truncated bool
+	// Resumed marks a search continued from a checkpoint; Iterations,
+	// Accepted, and Rejected include the pre-checkpoint work.
+	Resumed bool
+	// Checkpoints counts the snapshots written during this run.
+	Checkpoints int
 	// StatesVisitedFrac[i] is the fraction of live non-leaf states
 	// re-evaluated at iteration i (pruning effectiveness, Fig 3b).
 	StatesVisitedFrac []float64
@@ -85,135 +126,340 @@ type OptimizeStats struct {
 // Optimize runs the local search on org in place: repeated downward
 // traversals propose ADD_PARENT / DELETE_PARENT modifications on states
 // ordered from lowest to highest reachability, accepted by the
-// Metropolis rule of Eq 9, until the effectiveness plateaus.
+// Metropolis rule of Eq 9, until the effectiveness plateaus. It is the
+// uncancellable in-place form; cfg.Checkpoint must be nil (checkpoint
+// reconstruction can replace the organization, which an in-place caller
+// would not observe — use OptimizeContext).
 func Optimize(org *Org, cfg OptimizeConfig) (*OptimizeStats, error) {
-	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ev, err := NewEvaluator(org, cfg.RepFraction, rng)
-	if err != nil {
-		return nil, err
+	if cfg.Checkpoint != nil {
+		return nil, fmt.Errorf("core: Optimize cannot checkpoint; use OptimizeContext")
 	}
-	return optimizeWithEvaluator(org, ev, cfg, rng)
+	_, stats, err := OptimizeContext(context.Background(), org, cfg)
+	return stats, err
 }
 
-func optimizeWithEvaluator(org *Org, ev *Evaluator, cfg OptimizeConfig, rng *rand.Rand) (*OptimizeStats, error) {
-	start := time.Now()
-	stats := &OptimizeStats{InitialEff: ev.Effectiveness()}
-	best := ev.Effectiveness()
-	sinceImprove := 0
-	// Eq 9 accepts mildly-downhill moves with probability equal to the
-	// effectiveness ratio, so the walk can drift away from good
-	// organizations (a DELETE_PARENT cascade is hard to rebuild). The
-	// returned organization is the best one seen: accepted-but-not-
-	// improving operations are logged and unwound at termination.
-	bestEff := best
-	var sinceBest []*UndoLog
-
-	done := func() bool {
-		return stats.Iterations >= cfg.MaxIterations || sinceImprove >= cfg.Window
+// OptimizeContext runs the local search with cancellation and optional
+// checkpointing. On cancel or deadline the search stops at the next
+// iteration boundary and degrades gracefully: it returns the best
+// organization seen so far with stats.Truncated set, not an error.
+// The returned *Org is the search result; it equals the input org
+// unless checkpointing reconstructed or a resume snapshot won, so
+// callers must use the return value rather than the argument.
+func OptimizeContext(ctx context.Context, org *Org, cfg OptimizeConfig) (*Org, *OptimizeStats, error) {
+	cfg.defaults()
+	src := newSearchSource(cfg.Seed)
+	rng := newSearchRand(src)
+	ev, err := NewEvaluator(org, cfg.RepFraction, rng)
+	if err != nil {
+		return nil, nil, err
 	}
+	eff := ev.Effectiveness()
+	s := &search{
+		ctx:        ctx,
+		cfg:        cfg,
+		org:        org,
+		ev:         ev,
+		src:        src,
+		rng:        rng,
+		stats:      &OptimizeStats{InitialEff: eff},
+		plateauRef: eff,
+		bestEff:    eff,
+	}
+	if cfg.Checkpoint != nil {
+		s.dim = cfg.Checkpoint.Dim
+		s.tagGroup = cfg.Checkpoint.TagGroup
+	}
+	return s.run()
+}
 
-	for !done() {
-		proposedThisTraversal := 0
-		// One downward traversal: states grouped by level, lowest
-		// reachability first within each level.
-		meanReach := ev.MeanReach()
-		levels := org.Levels()
-		byLevel := make(map[int][]StateID)
-		maxLevel := 0
-		for _, s := range org.States {
-			if s.deleted || s.ID == org.Root {
-				continue
-			}
-			l := levels[s.ID]
-			if l < 0 {
-				continue
-			}
-			byLevel[l] = append(byLevel[l], s.ID)
-			if l > maxLevel {
-				maxLevel = l
-			}
+// ResumeOptimizeContext continues a search from a checkpoint over the
+// lake it was built on. The search runs under the checkpointed config
+// (including its seed and checkpoint cadence) and keeps checkpointing
+// to the file the checkpoint was loaded from. Because checkpoints are
+// written at reconstruction boundaries, the resumed trajectory is
+// identical to the one an uninterrupted process would have followed:
+// only the work since the last checkpoint is redone.
+func ResumeOptimizeContext(ctx context.Context, l *lake.Lake, ck *Checkpoint) (*Org, *OptimizeStats, error) {
+	cfg := ck.searchConfig()
+	cfg.defaults()
+	org, ev, src, err := rebuildSearchState(l, cfg, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &search{
+		ctx: ctx,
+		cfg: cfg,
+		org: org,
+		ev:  ev,
+		src: src,
+		rng: newSearchRand(src),
+		stats: &OptimizeStats{
+			Iterations: ck.Iterations,
+			Accepted:   ck.Accepted,
+			Rejected:   ck.Rejected,
+			InitialEff: ck.InitialEff,
+			Resumed:    true,
+		},
+		plateauRef:       ck.PlateauRef,
+		sinceImprove:     ck.SinceImprove,
+		bestEff:          ck.BestEff,
+		bestSnapshot:     ck.Best,
+		lastCkptAccepted: ck.Accepted,
+		dim:              ck.Dim,
+		tagGroup:         ck.TagGroup,
+	}
+	return s.run()
+}
+
+// search is the live state of one local-search run.
+type search struct {
+	ctx context.Context
+	cfg OptimizeConfig
+	org *Org
+	ev  *Evaluator
+	src *searchSource
+	rng *rand.Rand
+
+	stats   *OptimizeStats
+	started time.Time
+
+	// plateauRef and sinceImprove drive the Window termination rule.
+	plateauRef   float64
+	sinceImprove int
+
+	// bestEff is the best effectiveness seen; sinceBest logs accepted-
+	// but-not-improving operations so termination can unwind to the best
+	// organization. After a checkpoint reconstruction the trail cannot
+	// reach the pre-checkpoint best (state IDs were recompacted), so the
+	// best lives on as bestSnapshot until the search beats it.
+	bestEff      float64
+	sinceBest    []*UndoLog
+	bestSnapshot *ExportedOrg
+
+	lastCkptAccepted int
+
+	// dim and tagGroup stamp checkpoints with their dimension identity.
+	dim      int
+	tagGroup []string
+}
+
+func (s *search) canceled() bool { return s.ctx.Err() != nil }
+
+func (s *search) done() bool {
+	return s.canceled() ||
+		s.stats.Iterations >= s.cfg.MaxIterations ||
+		s.sinceImprove >= s.cfg.Window
+}
+
+func (s *search) run() (*Org, *OptimizeStats, error) {
+	s.started = time.Now()
+	for !s.done() {
+		proposed, err := s.traverse()
+		if err != nil {
+			return nil, nil, err
 		}
-		for l := 1; l <= maxLevel && !done(); l++ {
-			states := byLevel[l]
-			sort.Slice(states, func(i, j int) bool {
-				if meanReach[states[i]] != meanReach[states[j]] {
-					return meanReach[states[i]] < meanReach[states[j]]
-				}
-				return states[i] < states[j]
-			})
-			leafBudget := cfg.LeafProposals
-			for _, sid := range states {
-				if done() {
-					break
-				}
-				s := org.State(sid)
-				if s.deleted {
-					continue // eliminated earlier in this traversal
-				}
-				if s.Kind == KindLeaf {
-					if leafBudget <= 0 {
-						continue
-					}
-					if ev.Approximate() && ev.IsRepresentativeLeaf(sid) {
-						// A leaf op on a representative's own leaf is
-						// booked for all its members — a systematic
-						// overestimate; see IsRepresentativeLeaf.
-						continue
-					}
-					leafBudget--
-				}
-				undo, accepted, proposed := proposeAndDecide(org, ev, sid, levels, meanReach, rng, cfg.AcceptExponent)
-				if !proposed {
-					continue
-				}
-				proposedThisTraversal++
-				stats.Iterations++
-				stats.StatesVisitedFrac = append(stats.StatesVisitedFrac,
-					frac(ev.LastStatesVisited, ev.TotalStates()))
-				stats.AttrsVisitedFrac = append(stats.AttrsVisitedFrac,
-					frac(ev.LastAttrsVisited, ev.TotalAttrs()))
-				if accepted {
-					stats.Accepted++
-				} else {
-					stats.Rejected++
-				}
-				eff := ev.Effectiveness()
-				if accepted {
-					if eff > bestEff {
-						bestEff = eff
-						sinceBest = sinceBest[:0]
-					} else {
-						sinceBest = append(sinceBest, undo)
-					}
-				}
-				if eff > best*(1+cfg.MinRelImprovement) {
-					best = eff
-					sinceImprove = 0
-				} else {
-					sinceImprove++
-				}
-				// Structure may have changed; stale levels within a
-				// traversal are tolerable (they only guide candidate
-				// choice), and reachability is refreshed per traversal.
-			}
+		if err := s.maybeCheckpoint(); err != nil {
+			return nil, nil, err
 		}
-		if proposedThisTraversal == 0 {
+		if proposed == 0 {
 			// No applicable operation anywhere: a fixed point.
 			break
 		}
 	}
+	return s.finish()
+}
 
-	// Unwind to the best organization seen.
-	for i := len(sinceBest) - 1; i >= 0; i-- {
-		org.Undo(sinceBest[i])
+// traverse performs one downward traversal: states grouped by level,
+// lowest reachability first within each level, each getting at most one
+// proposed operation.
+func (s *search) traverse() (int, error) {
+	org, ev, cfg := s.org, s.ev, s.cfg
+	proposed := 0
+	meanReach := ev.MeanReach()
+	levels := org.Levels()
+	byLevel := make(map[int][]StateID)
+	maxLevel := 0
+	for _, st := range org.States {
+		if st.deleted || st.ID == org.Root {
+			continue
+		}
+		l := levels[st.ID]
+		if l < 0 {
+			continue
+		}
+		byLevel[l] = append(byLevel[l], st.ID)
+		if l > maxLevel {
+			maxLevel = l
+		}
 	}
-	stats.FinalEff = bestEff
-	stats.Duration = time.Since(start)
-	if err := orgSane(org); err != nil {
-		return stats, err
+	for l := 1; l <= maxLevel && !s.done(); l++ {
+		states := byLevel[l]
+		sort.Slice(states, func(i, j int) bool {
+			if meanReach[states[i]] != meanReach[states[j]] {
+				return meanReach[states[i]] < meanReach[states[j]]
+			}
+			return states[i] < states[j]
+		})
+		leafBudget := cfg.LeafProposals
+		for _, sid := range states {
+			if s.done() {
+				break
+			}
+			st := org.State(sid)
+			if st.deleted {
+				continue // eliminated earlier in this traversal
+			}
+			if st.Kind == KindLeaf {
+				if leafBudget <= 0 {
+					continue
+				}
+				if ev.Approximate() && ev.IsRepresentativeLeaf(sid) {
+					// A leaf op on a representative's own leaf is
+					// booked for all its members — a systematic
+					// overestimate; see IsRepresentativeLeaf.
+					continue
+				}
+				leafBudget--
+			}
+			undo, accepted, wasProposed, err := proposeAndDecide(org, ev, sid, levels, meanReach, s.rng, cfg.AcceptExponent)
+			if err != nil {
+				return proposed, err
+			}
+			if !wasProposed {
+				continue
+			}
+			proposed++
+			s.noteIteration(undo, accepted)
+			// Structure may have changed; stale levels within a
+			// traversal are tolerable (they only guide candidate
+			// choice), and reachability is refreshed per traversal.
+		}
 	}
-	return stats, nil
+	return proposed, nil
+}
+
+// noteIteration books one proposed operation into the stats, the
+// best-seen trail, and the plateau rule, then fires the test probe.
+func (s *search) noteIteration(undo *UndoLog, accepted bool) {
+	st := s.stats
+	st.Iterations++
+	st.StatesVisitedFrac = append(st.StatesVisitedFrac,
+		frac(s.ev.LastStatesVisited, s.ev.TotalStates()))
+	st.AttrsVisitedFrac = append(st.AttrsVisitedFrac,
+		frac(s.ev.LastAttrsVisited, s.ev.TotalAttrs()))
+	if accepted {
+		st.Accepted++
+	} else {
+		st.Rejected++
+	}
+	eff := s.ev.Effectiveness()
+	if accepted {
+		if eff > s.bestEff {
+			s.bestEff = eff
+			s.sinceBest = s.sinceBest[:0]
+			s.bestSnapshot = nil
+		} else {
+			s.sinceBest = append(s.sinceBest, undo)
+		}
+	}
+	if eff > s.plateauRef*(1+s.cfg.MinRelImprovement) {
+		s.plateauRef = eff
+		s.sinceImprove = 0
+	} else {
+		s.sinceImprove++
+	}
+	if s.cfg.Probe != nil {
+		s.cfg.Probe(st.Iterations)
+	}
+}
+
+// maybeCheckpoint snapshots the search at a traversal boundary once
+// enough operations have been accepted since the last snapshot. A
+// canceled or finished search does not checkpoint: the last boundary
+// file already captures everything a resume may rely on.
+func (s *search) maybeCheckpoint() error {
+	c := s.cfg.Checkpoint
+	if c == nil || s.done() {
+		return nil
+	}
+	if s.stats.Accepted-s.lastCkptAccepted < c.EveryAccepted {
+		return nil
+	}
+	return s.checkpoint()
+}
+
+// checkpoint writes the snapshot and reconstructs the live search from
+// it, so everything downstream of this boundary is a pure function of
+// the checkpoint bytes (see CheckpointConfig).
+func (s *search) checkpoint() error {
+	cur := s.org.Export()
+	// Materialize the best organization by unwinding the trail on the
+	// live org; the live org is rebuilt from cur below, so the unwind
+	// does not need to be redone.
+	best := s.bestSnapshot
+	if best == nil && len(s.sinceBest) > 0 {
+		for i := len(s.sinceBest) - 1; i >= 0; i-- {
+			s.org.Undo(s.sinceBest[i])
+		}
+		best = s.org.Export()
+	}
+	ck := &Checkpoint{
+		Version:      checkpointVersion,
+		Dim:          s.dim,
+		TagGroup:     s.tagGroup,
+		Config:       s.cfg.savedConfig(),
+		Iterations:   s.stats.Iterations,
+		Accepted:     s.stats.Accepted,
+		Rejected:     s.stats.Rejected,
+		SinceImprove: s.sinceImprove,
+		PlateauRef:   s.plateauRef,
+		InitialEff:   s.stats.InitialEff,
+		BestEff:      s.bestEff,
+		RNGState:     s.src.State(),
+		Current:      cur,
+		Best:         best,
+		path:         s.cfg.Checkpoint.Path,
+	}
+	if ck.path != "" {
+		if err := SaveCheckpoint(ck.path, ck); err != nil {
+			return err
+		}
+	}
+	org, ev, src, err := rebuildSearchState(s.org.Lake, s.cfg, ck)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint reconstruction: %w", err)
+	}
+	s.org, s.ev, s.src = org, ev, src
+	s.rng = newSearchRand(src)
+	s.sinceBest = nil
+	s.bestSnapshot = ck.Best
+	s.lastCkptAccepted = ck.Accepted
+	s.stats.Checkpoints++
+	return nil
+}
+
+// finish unwinds to the best organization seen and seals the stats.
+func (s *search) finish() (*Org, *OptimizeStats, error) {
+	if s.bestSnapshot != nil {
+		// The best predates the last checkpoint reconstruction and is
+		// unreachable through the undo trail; rebuild it.
+		best, err := Import(s.org.Lake, s.bestSnapshot)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: restore best organization: %w", err)
+		}
+		s.org = best
+	} else {
+		for i := len(s.sinceBest) - 1; i >= 0; i-- {
+			s.org.Undo(s.sinceBest[i])
+		}
+	}
+	s.stats.FinalEff = s.bestEff
+	s.stats.Truncated = s.canceled()
+	s.stats.Duration = time.Since(s.started)
+	if err := orgSane(s.org); err != nil {
+		return s.org, s.stats, err
+	}
+	return s.org, s.stats, nil
 }
 
 func frac(num, den int) float64 {
@@ -241,10 +487,10 @@ func orgSane(o *Org) error {
 // candidate set still consists solely of the paper's two operations.
 // It returns the applied operation's undo log when accepted, and
 // reports (accepted, proposed).
-func proposeAndDecide(org *Org, ev *Evaluator, sid StateID, levels []int, meanReach []float64, rng *rand.Rand, acceptExp float64) (*UndoLog, bool, bool) {
+func proposeAndDecide(org *Org, ev *Evaluator, sid StateID, levels []int, meanReach []float64, rng *rand.Rand, acceptExp float64) (*UndoLog, bool, bool, error) {
 	candidates := pickOperations(org, sid, levels, meanReach, rng)
 	if len(candidates) == 0 {
-		return nil, false, false
+		return nil, false, false, nil
 	}
 	oldEff := ev.Effectiveness()
 
@@ -264,7 +510,9 @@ func proposeAndDecide(org *Org, ev *Evaluator, sid StateID, levels []int, meanRe
 			statesVisited, attrsVisited = ev.LastStatesVisited, ev.LastAttrsVisited
 		}
 		org.Undo(undo)
-		ev.Rollback()
+		if err := ev.Rollback(); err != nil {
+			return nil, false, false, err
+		}
 	}
 	ev.LastStatesVisited = statesVisited
 	ev.LastAttrsVisited = attrsVisited
@@ -278,15 +526,17 @@ func proposeAndDecide(org *Org, ev *Evaluator, sid StateID, levels []int, meanRe
 			sid, org.State(sid).Kind, len(candidates), oldEff, bestEff, accept)
 	}
 	if !accept {
-		return nil, false, true
+		return nil, false, true, nil
 	}
 	// Re-apply the winning candidate for real.
 	cs := org.BeginChanges()
 	undo := candidates[bestIdx]()
 	org.EndChanges()
 	ev.Reevaluate(cs)
-	ev.Commit()
-	return undo, true, true
+	if err := ev.Commit(); err != nil {
+		return nil, false, false, err
+	}
+	return undo, true, true, nil
 }
 
 // pickOperations assembles the candidate operations for sid. Interior

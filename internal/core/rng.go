@@ -1,0 +1,65 @@
+package core
+
+import "math/rand"
+
+// searchSource is the optimizer's random source: an xorshift64*
+// generator whose entire state is one uint64, so a checkpoint can
+// capture and restore it exactly. math/rand's default source keeps 607
+// words of hidden state and cannot be serialized, which would make
+// resumed searches diverge from uninterrupted ones.
+type searchSource struct {
+	state uint64
+}
+
+// newSearchSource seeds a source. The seed is scrambled through two
+// splitmix64 steps so small consecutive seeds (the multi-dim per-
+// dimension derivation) land in unrelated stream positions.
+func newSearchSource(seed int64) *searchSource {
+	s := &searchSource{state: uint64(seed)}
+	s.state = splitmix64(s.state + 0x9e3779b97f4a7c15)
+	if s.state == 0 {
+		s.state = 0x9e3779b97f4a7c15 // xorshift has a zero fixed point
+	}
+	return s
+}
+
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 advances the xorshift64* generator.
+func (s *searchSource) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Int63 implements rand.Source.
+func (s *searchSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *searchSource) Seed(seed int64) { *s = *newSearchSource(seed) }
+
+// State returns the generator state for checkpointing.
+func (s *searchSource) State() uint64 { return s.state }
+
+// SetState restores a state captured with State.
+func (s *searchSource) SetState(state uint64) {
+	if state == 0 {
+		state = 0x9e3779b97f4a7c15
+	}
+	s.state = state
+}
+
+var _ rand.Source64 = (*searchSource)(nil)
+
+// newSearchRand wraps a source in the rand.Rand the search draws from.
+// rand.Rand keeps no hidden state of its own for the draws the search
+// uses (Intn, Float64), so capturing the source state captures the
+// whole generator.
+func newSearchRand(src *searchSource) *rand.Rand { return rand.New(src) }

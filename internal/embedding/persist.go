@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 
+	"lakenav/internal/atomicio"
 	"lakenav/vector"
 )
 
@@ -118,17 +119,17 @@ func ReadStore(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// SaveFile writes the store to path, creating or truncating it.
+// SaveFile writes the store to path atomically (temp file + fsync +
+// rename), so a crash mid-save can never leave a torn store behind.
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		_, werr := s.WriteTo(w)
+		return werr
+	})
 	if err != nil {
 		return fmt.Errorf("embedding: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if _, err := s.WriteTo(f); err != nil {
-		return fmt.Errorf("embedding: save %s: %w", path, err)
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a store previously written with SaveFile.

@@ -2,9 +2,11 @@ package embedding
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
+	"lakenav/internal/faultinject"
 	"lakenav/vector"
 )
 
@@ -113,5 +115,45 @@ func TestSaveFileToBadPath(t *testing.T) {
 	s := buildTestStore()
 	if err := s.SaveFile("/nonexistent-dir/x/y.bin"); err == nil {
 		t.Error("bad path accepted")
+	}
+}
+
+// A store file torn mid-write must fail to load, and the atomic save
+// must leave no temp files next to the target.
+func TestSaveFileAtomicAndTornLoad(t *testing.T) {
+	s := buildTestStore()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vecs.bin")
+	for i := 0; i < 2; i++ { // second save overwrites atomically
+		if err := s.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after save, want 1", len(entries))
+	}
+	torn := filepath.Join(dir, "torn.bin")
+	if err := faultinject.TornCopy(path, torn, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(torn); err == nil {
+		t.Error("torn store loaded")
+	}
+}
+
+// A reader failing mid-stream surfaces as an error, not a short store.
+func TestReadStoreFailingReader(t *testing.T) {
+	s := buildTestStore()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fr := &faultinject.FailingReader{R: &buf, N: int64(buf.Len() / 2)}
+	if _, err := ReadStore(fr); err == nil {
+		t.Error("mid-stream read failure swallowed")
 	}
 }

@@ -1,0 +1,123 @@
+// Package faultinject provides deterministic fault injection for
+// robustness tests: torn and truncated files, readers that stall or
+// fail mid-stream, and optimizer probes that cancel a search at a
+// chosen iteration. Production code never imports it; tests across the
+// persistence, core, and server layers share it so every failure mode
+// is simulated the same way everywhere.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CancelAtIteration returns an optimizer Probe (see
+// core.OptimizeConfig.Probe) that cancels at iteration k, simulating a
+// deploy or crash landing mid-search.
+func CancelAtIteration(cancel context.CancelFunc, k int) func(int) {
+	return func(iteration int) {
+		if iteration >= k {
+			cancel()
+		}
+	}
+}
+
+// CancelWhen returns a Probe that cancels as soon as cond reports true,
+// for faults keyed on observable side effects (e.g. "a checkpoint file
+// exists") rather than iteration counts.
+func CancelWhen(cancel context.CancelFunc, cond func() bool) func(int) {
+	return func(int) {
+		if cond() {
+			cancel()
+		}
+	}
+}
+
+// TruncateFile tears a file down to its first keep bytes in place,
+// simulating a crash mid-write on a non-atomic writer. It returns the
+// number of bytes removed.
+func TruncateFile(path string, keep int64) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, fmt.Errorf("faultinject: truncate %s: %w", path, err)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > info.Size() {
+		return 0, fmt.Errorf("faultinject: truncate %s: keep %d beyond size %d", path, keep, info.Size())
+	}
+	if err := os.Truncate(path, keep); err != nil {
+		return 0, fmt.Errorf("faultinject: truncate %s: %w", path, err)
+	}
+	return info.Size() - keep, nil
+}
+
+// TornCopy writes the first fraction (0..1) of src's bytes to dst — a
+// torn file as a crashed copy or partial download would leave it.
+func TornCopy(src, dst string, fraction float64) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("faultinject: torn copy: %w", err)
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(float64(len(data)) * fraction)
+	if err := os.WriteFile(dst, data[:n], 0o644); err != nil {
+		return fmt.Errorf("faultinject: torn copy: %w", err)
+	}
+	return nil
+}
+
+// SlowReader delays every Read by Delay, simulating a saturated or
+// failing disk / network volume.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration
+}
+
+// Read implements io.Reader.
+func (s *SlowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.R.Read(p)
+}
+
+// FailingReader reads normally for the first N bytes and then returns
+// Err (io.ErrUnexpectedEOF when nil), simulating an I/O error
+// mid-stream.
+type FailingReader struct {
+	R    io.Reader
+	N    int64
+	Err  error
+	read int64
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.read >= f.N {
+		return 0, f.err()
+	}
+	if max := f.N - f.read; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := f.R.Read(p)
+	f.read += int64(n)
+	if err == nil && f.read >= f.N {
+		err = f.err()
+	}
+	return n, err
+}
+
+func (f *FailingReader) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return io.ErrUnexpectedEOF
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"lakenav/internal/atomicio"
 )
 
 // jsonLake is the on-disk form of a Lake. Values are persisted; topic
@@ -65,17 +67,17 @@ func ReadJSON(r io.Reader) (*Lake, error) {
 	return l, nil
 }
 
-// SaveFile writes the lake as JSON to path.
+// SaveFile writes the lake as JSON to path. The write is atomic (temp
+// file + fsync + rename): a crash mid-save leaves either the previous
+// file or the new one, never a torn lake.
 func (l *Lake) SaveFile(path string) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return l.WriteJSON(w)
+	})
 	if err != nil {
 		return fmt.Errorf("lake: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if err := l.WriteJSON(f); err != nil {
-		return fmt.Errorf("lake: save %s: %w", path, err)
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a lake previously written with SaveFile.

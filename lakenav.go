@@ -25,11 +25,13 @@
 package lakenav
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
+	"lakenav/internal/atomicio"
 	"lakenav/internal/core"
 	"lakenav/internal/embedding"
 	"lakenav/internal/hybrid"
@@ -169,6 +171,19 @@ type Config struct {
 	MaxIterations int
 	// Seed makes construction reproducible.
 	Seed int64
+	// CheckpointPath, when non-empty, periodically snapshots the search
+	// so a killed build can continue where it left off: dimension i
+	// checkpoints atomically to CheckpointPath + ".dim<i>", and a clean
+	// completion removes the files. Requires Optimize.
+	CheckpointPath string
+	// CheckpointEvery is how many accepted operations accumulate between
+	// snapshots; 0 selects the default (100).
+	CheckpointEvery int
+	// Resume continues any dimension whose checkpoint file exists and
+	// matches (same seed, same tag group). Stale or corrupt files are
+	// ignored and the dimension rebuilds from scratch — resuming can
+	// speed a restart up but never fail it.
+	Resume bool
 }
 
 // DefaultConfig returns a single optimized dimension with the paper's
@@ -185,8 +200,22 @@ type Organization struct {
 
 // Organize builds an organization over the lake per cfg.
 func Organize(l *Lake, cfg Config) (*Organization, error) {
+	return OrganizeContext(context.Background(), l, cfg)
+}
+
+// OrganizeContext is Organize with cancellation and checkpoint/resume
+// support. Cancellation degrades gracefully: the construction stops the
+// local search at its next safe iteration boundary and returns the best
+// organization found so far — structurally valid and usable, with
+// Truncated reporting true — rather than an error. Combine a deadline
+// with CheckpointPath to bound build time while keeping the option of
+// finishing the search later with Resume.
+func OrganizeContext(ctx context.Context, l *Lake, cfg Config) (*Organization, error) {
 	if cfg.Dimensions < 1 {
 		return nil, fmt.Errorf("lakenav: Dimensions must be >= 1, got %d", cfg.Dimensions)
+	}
+	if cfg.CheckpointPath != "" && !cfg.Optimize {
+		return nil, fmt.Errorf("lakenav: CheckpointPath requires Optimize (checkpoints snapshot the search)")
 	}
 	l.ensureTopics()
 	var opt *core.OptimizeConfig
@@ -197,13 +226,21 @@ func Organize(l *Lake, cfg Config) (*Organization, error) {
 			Seed:          cfg.Seed,
 		}
 	}
-	m, _, err := core.BuildMultiDim(l.l, core.MultiDimConfig{
+	mc := core.MultiDimConfig{
 		K:        cfg.Dimensions,
 		Build:    core.BuildConfig{Gamma: cfg.Gamma},
 		Optimize: opt,
 		Seed:     cfg.Seed,
 		Parallel: true,
-	})
+	}
+	if cfg.CheckpointPath != "" {
+		mc.Checkpoint = &core.CheckpointConfig{
+			Path:          cfg.CheckpointPath,
+			EveryAccepted: cfg.CheckpointEvery,
+		}
+		mc.Resume = cfg.Resume
+	}
+	m, _, err := core.BuildMultiDimContext(ctx, l.l, mc)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +250,12 @@ func Organize(l *Lake, cfg Config) (*Organization, error) {
 // Dimensions returns the number of dimensions actually built (empty tag
 // groups are dropped).
 func (o *Organization) Dimensions() int { return len(o.m.Orgs) }
+
+// Truncated reports whether construction was stopped early by context
+// cancellation or deadline: the organization is valid and usable, but at
+// least one dimension carries its best-so-far search state rather than a
+// converged result. Re-running with Resume finishes the search.
+func (o *Organization) Truncated() bool { return o.m.Truncated }
 
 // Effectiveness returns P(T|O): the mean probability of discovering a
 // table by navigation (Eq 6/8), the objective construction maximizes.
@@ -525,17 +568,17 @@ func (h *Hybrid) RelatedQueries(j HybridJump, n int) ([]string, error) {
 // SaveJSON persists the organization's structure to path. Reloading
 // with LoadOrganization over the same lake reproduces the exact same
 // navigation behaviour without re-running the construction search —
-// the cold-start path for navigation services.
+// the cold-start path for navigation services. The write is atomic
+// (temp file + fsync + rename): a crash mid-save leaves either the old
+// organization or the new one, never a torn file.
 func (o *Organization) SaveJSON(path string) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return o.m.WriteJSON(w)
+	})
 	if err != nil {
 		return fmt.Errorf("lakenav: save organization: %w", err)
 	}
-	defer f.Close()
-	if err := o.m.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadOrganization reads an organization saved with SaveJSON and

@@ -1,0 +1,298 @@
+package lakenav
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lakenav/internal/faultinject"
+)
+
+// Corrupt lake files — torn writes, truncation, garbage — must come
+// back as clean errors from LoadJSON, never as panics or silently
+// half-loaded lakes.
+func TestLoadJSONCorruptInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := demoLake().SaveJSON(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(good); err != nil {
+		t.Fatalf("sanity: valid lake failed to load: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		content func(t *testing.T, path string)
+	}{
+		{"empty", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not json at all {{{"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"binary", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte{0xff, 0xfe, 0x00, 0x01, 0x7f}, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"torn", func(t *testing.T, path string) {
+			if err := faultinject.TornCopy(good, path, 0.6); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			if err := faultinject.TornCopy(good, path, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := faultinject.TruncateFile(path, 10); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".json")
+			tc.content(t, path)
+			if _, err := LoadJSON(path); err == nil {
+				t.Errorf("%s lake loaded without error", tc.name)
+			}
+		})
+	}
+	if _, err := LoadJSON(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing lake file loaded")
+	}
+}
+
+// Corrupt organization files — including structurally poisoned ones a
+// JSON decoder happily accepts — must fail LoadOrganization cleanly.
+func TestLoadOrganizationCorruptInputs(t *testing.T) {
+	dir := t.TempDir()
+	l := demoLake()
+	org, err := Organize(l, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.org")
+	if err := org.SaveJSON(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrganization(l, good); err != nil {
+		t.Fatalf("sanity: valid organization failed to load: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", `{{{{`},
+		{"nan-gamma", `{"tagGroups":[["t"]],"orgs":[{"gamma":NaN,"root":0,"states":[]}]}`},
+		{"zero-gamma", `{"tagGroups":[["t"]],"orgs":[{"gamma":0,"root":0,"states":[{"id":0,"kind":"interior"}]}]}`},
+		{"no-dimensions", `{"tagGroups":[],"orgs":[]}`},
+		{"unknown-kind", `{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":0,"states":[{"id":0,"kind":"wormhole"}]}]}`},
+		{"unknown-attr", `{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":0,"states":[{"id":0,"kind":"leaf","attr":"no_such_table.no_such_column"}]}]}`},
+		{"dangling-child", `{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":0,"states":[{"id":0,"kind":"interior","children":[99]}]}]}`},
+		{"cyclic", `{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":0,"states":[{"id":0,"kind":"interior","children":[1]},{"id":1,"kind":"interior","children":[0]}]}]}`},
+		{"bad-root", `{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":42,"states":[{"id":0,"kind":"interior"}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".org")
+			if err := os.WriteFile(path, []byte(tc.json), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadOrganization(l, path); err == nil {
+				t.Errorf("%s organization loaded without error", tc.name)
+			}
+		})
+	}
+
+	torn := filepath.Join(dir, "torn.org")
+	if err := faultinject.TornCopy(good, torn, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrganization(l, torn); err == nil {
+		t.Error("torn organization loaded without error")
+	}
+}
+
+// Atomic saves must leave no temp droppings and must replace existing
+// files in one step.
+func TestAtomicSavesLeaveNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	l := demoLake()
+	org, err := Organize(l, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lakePath := filepath.Join(dir, "lake.json")
+	orgPath := filepath.Join(dir, "org.json")
+	for i := 0; i < 2; i++ { // second round overwrites
+		if err := l.SaveJSON(lakePath); err != nil {
+			t.Fatal(err)
+		}
+		if err := org.SaveJSON(orgPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 2 {
+		t.Errorf("directory has %d entries, want 2", len(entries))
+	}
+	if _, err := LoadOrganization(l, orgPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Facade-level graceful degradation: a canceled OrganizeContext returns
+// a valid, truncated organization — not an error.
+func TestOrganizeContextCanceled(t *testing.T) {
+	l := demoLake()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	org, err := OrganizeContext(ctx, l, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !org.Truncated() {
+		t.Error("canceled build not marked truncated")
+	}
+	if eff := org.Effectiveness(); eff <= 0 || eff > 1 {
+		t.Errorf("truncated organization effectiveness %v", eff)
+	}
+	// The truncated result still navigates.
+	nav := org.Navigator()
+	if len(nav.Children()) == 0 {
+		t.Error("truncated organization has no navigable children")
+	}
+}
+
+func TestOrganizeCheckpointRequiresOptimize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Optimize = false
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "x.ck")
+	if _, err := Organize(demoLake(), cfg); err == nil {
+		t.Error("CheckpointPath without Optimize accepted")
+	}
+}
+
+// Facade checkpoint round trip: interrupt an organize by deadline, then
+// resume it to completion from the per-dimension checkpoint files.
+func TestOrganizeCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 300
+	cfg.CheckpointPath = filepath.Join(dir, "search.ck")
+	cfg.CheckpointEvery = 2
+
+	// Uninterrupted reference.
+	refOrg, err := OrganizeContext(context.Background(), demoLake(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted + resumed. Cancellation mid-build is nondeterministic
+	// from the facade (no iteration hooks up here), so cancel before the
+	// build starts: the resume path then rebuilds from scratch, which is
+	// exactly the no-checkpoint-file fallback the facade promises.
+	l2 := demoLake()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OrganizeContext(ctx, l2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	resumed, err := OrganizeContext(context.Background(), l2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Truncated() {
+		t.Error("resumed build truncated")
+	}
+	if d := resumed.Effectiveness() - refOrg.Effectiveness(); d > 1e-9 || d < -1e-9 {
+		t.Errorf("resumed effectiveness %v != reference %v", resumed.Effectiveness(), refOrg.Effectiveness())
+	}
+}
+
+// Fuzzing the two load paths: arbitrary bytes must never panic the
+// loader — any outcome other than (valid result | error) is a bug.
+func FuzzLoadJSON(f *testing.F) {
+	dir := f.TempDir()
+	good := filepath.Join(dir, "seed.json")
+	if err := demoLake().SaveJSON(good); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte(`{"tables":[{"name":"x","attributes":[{"name":"a","values":["v"]}]}]}`))
+	f.Add([]byte(`{"tables":[{"name":"","attributes":null}]}`))
+	f.Add([]byte("{{{"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		l, err := LoadJSON(path)
+		if err == nil && l == nil {
+			t.Error("nil lake with nil error")
+		}
+	})
+}
+
+func FuzzLoadOrganization(f *testing.F) {
+	dir := f.TempDir()
+	l := demoLake()
+	org, err := Organize(l, DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := filepath.Join(dir, "seed.org")
+	if err := org.SaveJSON(good); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte(`{"tagGroups":[["t"]],"orgs":[{"gamma":0.3,"root":0,"states":[{"id":0,"kind":"interior","children":[0]}]}]}`))
+	f.Add([]byte(`{"orgs":[{"gamma":1e308,"root":-1,"states":[]}]}`))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.org")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		got, err := LoadOrganization(l, path)
+		if err != nil {
+			return
+		}
+		// A load that succeeds must produce a coherent organization.
+		if got.Dimensions() < 1 {
+			t.Error("loaded organization has no dimensions")
+		}
+		if eff := got.Effectiveness(); eff < 0 || eff > 1 {
+			t.Errorf("loaded organization effectiveness %v", eff)
+		}
+	})
+}

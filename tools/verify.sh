@@ -1,0 +1,18 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate: build, vet, and
+# the complete test suite under the race detector. CI and pre-commit
+# hooks call this; `make verify` is the friendly entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
