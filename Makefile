@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify clean
+.PHONY: build test race vet verify bench clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ vet:
 # The full gate: build + vet + race-enabled tests (tools/verify.sh).
 verify:
 	sh tools/verify.sh
+
+# Benchmark snapshot: kernel/evaluator micro-benchmarks with their
+# naive/serial baselines plus the Figure 2 experiments, written to
+# BENCH_pr2.json with speedup ratios (tools/bench.sh).
+bench:
+	sh tools/bench.sh
 
 clean:
 	$(GO) clean ./...

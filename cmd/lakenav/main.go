@@ -139,6 +139,8 @@ func cmdOrganize(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "checkpoint the search to this path (dimension i appends .dim<i>); Ctrl-C stops gracefully with the best-so-far result")
 	resume := fs.Bool("resume", false, "resume the search from -checkpoint files when present")
 	timeout := fs.Duration("timeout", 0, "optional build time budget; on expiry the best organization so far is returned")
+	workers := fs.Int("workers", 0, "evaluator goroutine pool size; 0 uses all CPUs (results are identical for any value)")
+	restarts := fs.Int("restarts", 1, "independent searches per dimension, keeping the most effective (restart r appends .r<r> to checkpoint files)")
 	fs.Parse(args)
 	l, err := loadLake(*path)
 	if err != nil {
@@ -150,6 +152,8 @@ func cmdOrganize(args []string) error {
 	cfg.Seed = *seed
 	cfg.CheckpointPath = *checkpoint
 	cfg.Resume = *resume
+	cfg.Workers = *workers
+	cfg.Restarts = *restarts
 	// Ctrl-C (or the -timeout budget) stops the search at its next safe
 	// boundary and falls through to reporting the best-so-far result.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

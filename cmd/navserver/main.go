@@ -96,6 +96,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint the background build to this path (dimension i appends .dim<i>)")
 	resume := flag.Bool("resume", false, "resume the background build from -checkpoint files when present")
 	maxInflight := flag.Int("max-inflight", defaultInflight, "maximum concurrently served requests before shedding with 503")
+	workers := flag.Int("workers", 0, "evaluator goroutine pool size for the background build; 0 uses all CPUs")
+	restarts := flag.Int("restarts", 1, "independent searches per dimension in the background build, keeping the most effective")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -121,6 +123,8 @@ func main() {
 		cfg.Dimensions = *dims
 		cfg.CheckpointPath = *checkpoint
 		cfg.Resume = *resume
+		cfg.Workers = *workers
+		cfg.Restarts = *restarts
 		log.Printf("organizing %d tables in the background…", l.Tables())
 		go func() {
 			org, err := lakenav.OrganizeContext(ctx, l, cfg)

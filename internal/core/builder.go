@@ -80,7 +80,7 @@ func buildBase(l *lake.Lake, cfg BuildConfig) (*Org, []StateID, error) {
 	for _, a := range o.attrs {
 		s := o.newState(KindLeaf)
 		s.Attr = a
-		s.topic = l.Attr(a).Topic
+		s.setTopic(l.Attr(a).Topic)
 		o.leafOf[a] = s.ID
 	}
 

@@ -197,7 +197,9 @@ func rebuildSearchState(l *lake.Lake, cfg OptimizeConfig, ck *Checkpoint) (*Org,
 	// evaluator construction did (attribute set and leaf topics are
 	// invariant under search operations), reproducing the original
 	// query set; the search RNG position is then restored explicitly.
-	ev, err := NewEvaluator(org, cfg.RepFraction, rng)
+	// Workers is free to differ between the original and resumed process
+	// — pool size never changes evaluation results.
+	ev, err := NewEvaluatorWorkers(org, cfg.RepFraction, rng, cfg.Workers)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: checkpoint evaluator: %w", err)
 	}

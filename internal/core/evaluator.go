@@ -34,11 +34,22 @@ type Evaluator struct {
 	queries []Query
 	// repOf maps each position in org.Attrs() to its query index.
 	repOf []int
+	// workers bounds the goroutine pool for the per-query loops. Results
+	// are identical for every value (each query owns its reach row and
+	// reductions happen in query order); it only trades latency for CPU.
+	workers int
+
+	// queryNorm[q] caches ‖Topic_q‖₂ for the similarity kernel.
+	queryNorm []float64
 
 	// reach[q][stateID]: P(state | query topic) for non-leaf states.
 	reach [][]float64
 	// leafProb[q]: discovery probability of the query's own leaf.
 	leafProb []float64
+	// leafDirty and leafNew are per-query scratch for the parallel leaf
+	// re-evaluation phase of Reevaluate.
+	leafDirty []bool
+	leafNew   []float64
 	// eff is the current effectiveness (Eq 6).
 	eff float64
 
@@ -78,7 +89,15 @@ type savedLeaf struct {
 // mode. The rng drives representative seeding and must be non-nil in
 // approximate mode.
 func NewEvaluator(org *Org, repFraction float64, rng *rand.Rand) (*Evaluator, error) {
-	ev := &Evaluator{org: org}
+	return NewEvaluatorWorkers(org, repFraction, rng, 0)
+}
+
+// NewEvaluatorWorkers is NewEvaluator with an explicit worker-pool size
+// for the per-query loops; workers <= 0 selects GOMAXPROCS. The results
+// are bit-identical for every pool size — the knob only trades latency
+// for CPU.
+func NewEvaluatorWorkers(org *Org, repFraction float64, rng *rand.Rand, workers int) (*Evaluator, error) {
+	ev := &Evaluator{org: org, workers: resolveWorkers(workers)}
 	if repFraction > 0 && repFraction < 1 {
 		if rng == nil {
 			return nil, fmt.Errorf("core: approximate evaluator needs an rng")
@@ -108,15 +127,41 @@ func NewEvaluator(org *Org, repFraction float64, rng *rand.Rand) (*Evaluator, er
 	}
 	ev.tables = len(org.Lake.Tables)
 
+	ev.queryNorm = make([]float64, len(ev.queries))
+	for q := range ev.queries {
+		ev.queryNorm[q] = vector.Norm(ev.queries[q].Topic)
+	}
+
 	ev.reach = make([][]float64, len(ev.queries))
 	ev.leafProb = make([]float64, len(ev.queries))
-	for q := range ev.queries {
-		ev.reach[q] = org.ReachProbs(ev.queries[q].Topic)
-		ev.leafProb[q] = org.LeafProb(ev.queries[q].Attr, ev.queries[q].Topic, ev.reach[q])
-	}
+	ev.leafDirty = make([]bool, len(ev.queries))
+	ev.leafNew = make([]float64, len(ev.queries))
+	// Warm the caches the workers share read-only; computing them lazily
+	// inside the pool would race.
+	org.Topo()
+	parallelFor(len(ev.queries), ev.initWorkers(), func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			ev.reach[q] = org.reachProbsN(ev.queries[q].Topic, ev.queryNorm[q])
+			ev.leafProb[q] = org.leafProbN(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q])
+		}
+	})
 	ev.eff = ev.computeEff()
 	return ev, nil
 }
+
+// initWorkers sizes the pool for the full per-query reach sweeps of
+// construction: always worth parallelizing unless the instance is tiny.
+func (ev *Evaluator) initWorkers() int {
+	if len(ev.queries)*len(ev.org.States) < serialWorkFloor {
+		return 1
+	}
+	return ev.workers
+}
+
+// SetWorkers adjusts the worker-pool bound for subsequent evaluations;
+// n <= 0 selects GOMAXPROCS. Exposed for benchmarks and for services
+// that resize pools at runtime — the choice never changes results.
+func (ev *Evaluator) SetWorkers(n int) { ev.workers = resolveWorkers(n) }
 
 // Queries returns the evaluation probes (exposed for experiments).
 func (ev *Evaluator) Queries() []Query { return ev.queries }
@@ -168,24 +213,38 @@ func (ev *Evaluator) computeEff() float64 {
 
 // MeanReach returns, per state, the reachability probability P(s|O)
 // (Eq 10): the mean reach over all queries. Deleted states score 0.
+// The reduction is partitioned by state, so each output cell is summed
+// by exactly one worker in ascending query order — the same order (and
+// therefore the same floating-point result) as a serial pass.
 func (ev *Evaluator) MeanReach() []float64 {
 	out := make([]float64, len(ev.org.States))
 	if len(ev.queries) == 0 {
 		return out
 	}
-	for q := range ev.queries {
-		for id, r := range ev.reach[q] {
-			out[id] += r
-		}
-	}
 	inv := 1 / float64(len(ev.queries))
-	for id := range out {
-		if ev.org.States[id].deleted {
-			out[id] = 0
-			continue
-		}
-		out[id] *= inv
+	workers := ev.workers
+	if len(ev.queries)*len(out) < serialWorkFloor {
+		workers = 1
 	}
+	parallelFor(len(out), workers, func(lo, hi int) {
+		for q := range ev.queries {
+			reach := ev.reach[q]
+			top := hi
+			if len(reach) < top {
+				top = len(reach)
+			}
+			for id := lo; id < top; id++ {
+				out[id] += reach[id]
+			}
+		}
+		for id := lo; id < hi; id++ {
+			if ev.org.States[id].deleted {
+				out[id] = 0
+				continue
+			}
+			out[id] *= inv
+		}
+	})
 	return out
 }
 
@@ -252,59 +311,83 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 		affected[e] = true
 	}
 
-	ev.savedReach = ev.savedReach[:0]
 	ev.savedLeafProb = ev.savedLeafProb[:0]
 	ev.savedEff = ev.eff
 	ev.pending = true
 
-	for q := range ev.queries {
-		topic := ev.queries[q].Topic
-		reach := ev.reach[q]
-		transCache := make(map[StateID][]float64, len(changedOut))
-		for _, id := range affectedTopo {
-			ev.savedReach = append(ev.savedReach, savedCell{q, id, reach[id]})
-			var r float64
-			for _, p := range o.States[id].Parents {
-				probs, ok := transCache[p]
-				if !ok {
-					probs = o.childTransitions(p, topic)
-					transCache[p] = probs
-				}
-				for i, c := range o.States[p].Children {
-					if c == id {
-						r += reach[p] * probs[i]
-						break
+	// Each query q owns row ev.reach[q] and the fixed-size segment
+	// [q*perQuery, (q+1)*perQuery) of the rollback log — every query
+	// saves exactly one cell per affected state plus one per eliminated
+	// state — so the parallel sweep is race-free and the log layout is
+	// identical to the serial one, independent of worker count.
+	perQuery := len(affectedTopo) + len(cs.Eliminated)
+	need := len(ev.queries) * perQuery
+	if cap(ev.savedReach) < need {
+		ev.savedReach = make([]savedCell, need)
+	} else {
+		ev.savedReach = ev.savedReach[:need]
+	}
+	workers := ev.reevalWorkers(perQuery)
+	parallelFor(len(ev.queries), workers, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			topic, topicNorm := ev.queries[q].Topic, ev.queryNorm[q]
+			reach := ev.reach[q]
+			saved := ev.savedReach[q*perQuery : (q+1)*perQuery]
+			transCache := make(map[StateID][]float64, len(changedOut))
+			for i, id := range affectedTopo {
+				saved[i] = savedCell{q, id, reach[id]}
+				var r float64
+				for _, p := range o.States[id].Parents {
+					probs, ok := transCache[p]
+					if !ok {
+						probs = o.childTransitionsN(p, topic, topicNorm)
+						transCache[p] = probs
+					}
+					for i, c := range o.States[p].Children {
+						if c == id {
+							r += reach[p] * probs[i]
+							break
+						}
 					}
 				}
+				reach[id] = r
 			}
-			reach[id] = r
+			for i, e := range cs.Eliminated {
+				saved[len(affectedTopo)+i] = savedCell{q, e, reach[e]}
+				reach[e] = 0
+			}
 		}
-		for _, e := range cs.Eliminated {
-			ev.savedReach = append(ev.savedReach, savedCell{q, e, reach[e]})
-			reach[e] = 0
-		}
-	}
+	})
 
 	// Re-evaluate leaf probabilities for queries whose leaf hangs under
-	// an affected or transition-changed tag state.
-	attrsVisited := 0
-	for q := range ev.queries {
-		leaf := o.Leaf(ev.queries[q].Attr)
-		if leaf < 0 {
-			continue
-		}
-		dirty := false
-		for _, t := range o.States[leaf].Parents {
-			if affected[t] || changedOut[t] {
-				dirty = true
-				break
+	// an affected or transition-changed tag state. The workers only fill
+	// per-query scratch; the dirty results are folded into the cache (and
+	// the rollback log) serially in query order below.
+	parallelFor(len(ev.queries), workers, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			ev.leafDirty[q] = false
+			leaf := o.Leaf(ev.queries[q].Attr)
+			if leaf < 0 {
+				continue
+			}
+			for _, t := range o.States[leaf].Parents {
+				if affected[t] || changedOut[t] {
+					ev.leafDirty[q] = true
+					break
+				}
+			}
+			if ev.leafDirty[q] {
+				ev.leafNew[q] = o.leafProbN(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q])
 			}
 		}
-		if !dirty {
+	})
+	attrsVisited := 0
+	for q := range ev.queries {
+		if !ev.leafDirty[q] {
 			continue
 		}
 		ev.savedLeafProb = append(ev.savedLeafProb, savedLeaf{q, ev.leafProb[q]})
-		ev.leafProb[q] = o.LeafProb(ev.queries[q].Attr, ev.queries[q].Topic, ev.reach[q])
+		ev.leafProb[q] = ev.leafNew[q]
 		// One discovery-probability evaluation per recomputed query.
 		// Figure 3 counts evaluations against the total attribute count,
 		// which is how the representative approximation reaches the
@@ -323,6 +406,16 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	ev.LastAttrsVisited = attrsVisited
 	ev.eff = ev.computeEff()
 	return ev.eff
+}
+
+// reevalWorkers sizes the pool for one incremental re-evaluation:
+// serial when the pruned work (cells saved plus leaf checks per query)
+// is too small to amortize goroutine forks.
+func (ev *Evaluator) reevalWorkers(perQuery int) int {
+	if len(ev.queries)*(perQuery+1) < serialWorkFloor {
+		return 1
+	}
+	return ev.workers
 }
 
 // Commit accepts the last Reevaluate. Calling it without a pending
@@ -387,8 +480,11 @@ func selectRepresentatives(org *Org, fraction float64, rng *rand.Rand) ([]Query,
 		k = n
 	}
 	topics := make([]vector.Vector, n)
+	norms := make([]float64, n)
 	for i, a := range attrs {
-		topics[i] = org.State(org.Leaf(a)).topic
+		leaf := org.State(org.Leaf(a))
+		topics[i] = leaf.topic
+		norms[i] = leaf.topicNorm
 	}
 
 	reps := make([]int, 0, k)
@@ -396,7 +492,7 @@ func selectRepresentatives(org *Org, fraction float64, rng *rand.Rand) ([]Query,
 	reps = append(reps, first)
 	minDist := make([]float64, n)
 	for i := range minDist {
-		minDist[i] = 1 - vector.Cosine(topics[i], topics[first])
+		minDist[i] = 1 - vector.CosineNorms(topics[i], topics[first], norms[i], norms[first])
 	}
 	for len(reps) < k {
 		var total float64
@@ -433,7 +529,7 @@ func selectRepresentatives(org *Org, fraction float64, rng *rand.Rand) ([]Query,
 		}
 		reps = append(reps, next)
 		for i := range minDist {
-			if d := 1 - vector.Cosine(topics[i], topics[next]); d < minDist[i] {
+			if d := 1 - vector.CosineNorms(topics[i], topics[next], norms[i], norms[next]); d < minDist[i] {
 				minDist[i] = d
 			}
 		}
@@ -454,7 +550,7 @@ func selectRepresentatives(org *Org, fraction float64, rng *rand.Rand) ([]Query,
 		}
 		best, bd := 0, -2.0
 		for qi, ri := range reps {
-			if s := vector.Cosine(topics[i], topics[ri]); s > bd {
+			if s := vector.CosineNorms(topics[i], topics[ri], norms[i], norms[ri]); s > bd {
 				bd, best = s, qi
 			}
 		}

@@ -49,7 +49,7 @@ func Import(l *lake.Lake, ex *ExportedOrg) (*Org, error) {
 			}
 			s := o.newState(KindLeaf)
 			s.Attr = a
-			s.topic = l.Attr(a).Topic
+			s.setTopic(l.Attr(a).Topic)
 			o.leafOf[a] = s.ID
 			idMap[es.ID] = s.ID
 		case "tag":

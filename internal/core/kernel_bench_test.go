@@ -1,0 +1,293 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lakenav/internal/synth"
+	"lakenav/vector"
+)
+
+// Micro-benchmarks of the similarity kernel and the parallel evaluator,
+// each paired with its pre-kernel baseline: Naive variants recompute
+// both vector norms on every cosine (the old two-Norms-plus-Dot path),
+// Serial variants pin the worker pool to one goroutine. tools/bench.sh
+// runs these and records the ratios in a BENCH_*.json snapshot.
+
+func benchOrg(b *testing.B) *Org {
+	b.Helper()
+	cfg := synth.SmallTagCloudConfig()
+	cfg.Seed = 11
+	// Pretrained-embedding width (the paper navigates fastText vectors):
+	// the kernel's win is norm elision, so the benchmark must run at the
+	// vector width the production hot path actually sees.
+	cfg.Dim = 300
+	tc, err := synth.GenerateTagCloud(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// benchStatesAndTopic collects the branching states and one query topic.
+func benchStatesAndTopic(b *testing.B, o *Org) ([]StateID, vector.Vector) {
+	b.Helper()
+	var states []StateID
+	for _, s := range o.States {
+		if !s.deleted && s.Kind != KindLeaf && len(s.Children) > 0 {
+			states = append(states, s.ID)
+		}
+	}
+	if len(states) == 0 {
+		b.Fatal("no branching states")
+	}
+	topic := o.State(o.Leaf(o.Attrs()[0])).topic
+	return states, topic
+}
+
+// BenchmarkChildTransitions measures the Eq 1 transition softmax on the
+// kernel path: cached child norms, one Dot per child.
+func BenchmarkChildTransitions(b *testing.B) {
+	o := benchOrg(b)
+	states, topic := benchStatesAndTopic(b, o)
+	norm := vector.Norm(topic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.childTransitionsN(states[i%len(states)], topic, norm)
+	}
+}
+
+// BenchmarkChildTransitionsNaive measures the same softmax with
+// vector.Cosine recomputing both norms per child — the pre-kernel cost.
+func BenchmarkChildTransitionsNaive(b *testing.B) {
+	o := benchOrg(b)
+	states, topic := benchStatesAndTopic(b, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveChildTransitions(o, states[i%len(states)], topic)
+	}
+}
+
+// naiveReevaluate is a faithful replica of the pre-kernel, pre-parallel
+// Reevaluate: the same pruning, rollback bookkeeping, and per-query
+// transition cache, but serial and with every cosine recomputing both
+// norms. It drives the same Evaluator state so Rollback works.
+func naiveReevaluate(ev *Evaluator, cs *ChangeSet) float64 {
+	if ev.pending {
+		panic("core: naiveReevaluate with uncommitted previous evaluation")
+	}
+	o := ev.org
+	changedOut := make(map[StateID]bool)
+	for id := range cs.ChildrenChanged {
+		if !o.States[id].deleted && o.States[id].Kind != KindLeaf {
+			changedOut[id] = true
+		}
+	}
+	for id := range cs.TopicChanged {
+		if o.States[id].deleted {
+			continue
+		}
+		for _, p := range o.States[id].Parents {
+			if !o.States[p].deleted {
+				changedOut[p] = true
+			}
+		}
+	}
+	affected := make(map[StateID]bool)
+	var stack []StateID
+	for id := range changedOut {
+		for _, c := range o.States[id].Children {
+			if o.States[c].Kind != KindLeaf && !affected[c] {
+				affected[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range o.States[id].Children {
+			if o.States[c].Kind != KindLeaf && !affected[c] {
+				affected[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	topo := o.Topo()
+	var affectedTopo []StateID
+	for _, id := range topo {
+		if affected[id] {
+			affectedTopo = append(affectedTopo, id)
+		}
+	}
+	for _, e := range cs.Eliminated {
+		affected[e] = true
+	}
+
+	ev.savedLeafProb = ev.savedLeafProb[:0]
+	ev.savedEff = ev.eff
+	ev.pending = true
+	perQuery := len(affectedTopo) + len(cs.Eliminated)
+	need := len(ev.queries) * perQuery
+	if cap(ev.savedReach) < need {
+		ev.savedReach = make([]savedCell, need)
+	} else {
+		ev.savedReach = ev.savedReach[:need]
+	}
+	for q := range ev.queries {
+		topic := ev.queries[q].Topic
+		reach := ev.reach[q]
+		saved := ev.savedReach[q*perQuery : (q+1)*perQuery]
+		transCache := make(map[StateID][]float64, len(changedOut))
+		for i, id := range affectedTopo {
+			saved[i] = savedCell{q, id, reach[id]}
+			var r float64
+			for _, p := range o.States[id].Parents {
+				probs, ok := transCache[p]
+				if !ok {
+					probs = naiveChildTransitions(o, p, topic)
+					transCache[p] = probs
+				}
+				for ci, c := range o.States[p].Children {
+					if c == id {
+						r += reach[p] * probs[ci]
+						break
+					}
+				}
+			}
+			reach[id] = r
+		}
+		for i, e := range cs.Eliminated {
+			saved[len(affectedTopo)+i] = savedCell{q, e, reach[e]}
+			reach[e] = 0
+		}
+	}
+	for q := range ev.queries {
+		leaf := o.Leaf(ev.queries[q].Attr)
+		if leaf < 0 {
+			continue
+		}
+		dirty := false
+		for _, t := range o.States[leaf].Parents {
+			if affected[t] || changedOut[t] {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			ev.savedLeafProb = append(ev.savedLeafProb, savedLeaf{q, ev.leafProb[q]})
+			ev.leafProb[q] = naiveLeafProb(o, ev.queries[q].Attr, ev.queries[q].Topic, ev.reach[q])
+		}
+	}
+	ev.eff = ev.computeEff()
+	return ev.eff
+}
+
+// benchToggleOp finds a legal AddParent to toggle per iteration.
+func benchToggleOp(b *testing.B, o *Org) (StateID, StateID) {
+	b.Helper()
+	for _, st := range o.States {
+		if st.deleted || st.Kind != KindTag {
+			continue
+		}
+		for _, cand := range o.States {
+			if cand.Kind == KindInterior && !cand.deleted && o.CanAddParent(cand.ID, st.ID) {
+				return cand.ID, st.ID
+			}
+		}
+	}
+	b.Skip("no legal AddParent on this instance")
+	return -1, -1
+}
+
+func benchReevaluate(b *testing.B, workers int, naive bool) {
+	o := benchOrg(b)
+	ev, err := NewEvaluatorWorkers(o, 0, nil, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, s := benchToggleOp(b, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := o.BeginChanges()
+		u := o.AddParentOp(n, s)
+		o.EndChanges()
+		if naive {
+			naiveReevaluate(ev, cs)
+		} else {
+			ev.Reevaluate(cs)
+		}
+		o.Undo(u)
+		ev.Rollback()
+	}
+}
+
+// BenchmarkReevaluate measures one pruned incremental re-evaluation on
+// the kernel path with the default worker pool.
+func BenchmarkReevaluate(b *testing.B) { benchReevaluate(b, 0, false) }
+
+// BenchmarkReevaluateSerial pins the pool to one worker, isolating the
+// parallelism contribution from the kernel contribution.
+func BenchmarkReevaluateSerial(b *testing.B) { benchReevaluate(b, 1, false) }
+
+// BenchmarkReevaluateNaive replays the pre-PR implementation: serial
+// with two norm recomputations per cosine.
+func BenchmarkReevaluateNaive(b *testing.B) { benchReevaluate(b, 1, true) }
+
+// BenchmarkNewEvaluator measures evaluator construction (a full reach
+// sweep per query) with the default worker pool.
+func BenchmarkNewEvaluator(b *testing.B) {
+	o := benchOrg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEvaluatorWorkers(o, 0, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewEvaluatorSerial is construction on a single worker.
+func BenchmarkNewEvaluatorSerial(b *testing.B) {
+	o := benchOrg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEvaluatorWorkers(o, 0, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The naive replica must agree with the production Reevaluate — this
+// guards the benchmark baseline itself against drift.
+func TestNaiveReevaluateMatchesProduction(t *testing.T) {
+	o1 := kernelTestOrg(t, 23)
+	o2 := kernelTestOrg(t, 23)
+	ev1, err := NewEvaluatorWorkers(o1, 0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := NewEvaluatorWorkers(o2, 0, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng1 := rand.New(rand.NewSource(29))
+	rng2 := rand.New(rand.NewSource(29))
+	for step := 0; step < 8; step++ {
+		cs1, _, ok := applyRandomOp(o1, rng1)
+		if !ok {
+			break
+		}
+		cs2, _, _ := applyRandomOp(o2, rng2)
+		e1 := naiveReevaluate(ev1, cs1)
+		e2 := ev2.Reevaluate(cs2)
+		if d := e1 - e2; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("step %d: naive %v != production %v", step, e1, e2)
+		}
+		ev1.Commit()
+		ev2.Commit()
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lakenav/internal/lake"
+	"lakenav/internal/synth"
+	"lakenav/vector"
+)
+
+// Naive reference implementations of the navigation model, written
+// directly against vector.Cosine (which recomputes both norms on every
+// call). The production path goes through the similarity kernel and the
+// cached per-state norms; these references are what the kernel must
+// agree with.
+
+func naiveChildTransitions(o *Org, s StateID, topic vector.Vector) []float64 {
+	children := o.States[s].Children
+	if len(children) == 0 {
+		return nil
+	}
+	probs := make([]float64, len(children))
+	scale := o.Gamma / float64(len(children))
+	maxLogit := math.Inf(-1)
+	for i, c := range children {
+		probs[i] = scale * vector.Cosine(o.States[c].topic, topic)
+		if probs[i] > maxLogit {
+			maxLogit = probs[i]
+		}
+	}
+	var sum float64
+	for i := range probs {
+		probs[i] = math.Exp(probs[i] - maxLogit)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+func naiveReachProbs(o *Org, topic vector.Vector) []float64 {
+	reach := make([]float64, len(o.States))
+	reach[o.Root] = 1
+	for _, id := range o.Topo() {
+		s := o.States[id]
+		if s.Kind == KindLeaf || reach[id] == 0 || s.Kind == KindTag {
+			continue
+		}
+		probs := naiveChildTransitions(o, id, topic)
+		for i, c := range s.Children {
+			if o.States[c].Kind != KindLeaf {
+				reach[c] += reach[id] * probs[i]
+			}
+		}
+	}
+	return reach
+}
+
+func naiveLeafProb(o *Org, a lake.AttrID, topic vector.Vector, reach []float64) float64 {
+	leaf, ok := o.leafOf[a]
+	if !ok {
+		return 0
+	}
+	var p float64
+	for _, t := range o.States[leaf].Parents {
+		if reach[t] == 0 {
+			continue
+		}
+		probs := naiveChildTransitions(o, t, topic)
+		for i, c := range o.States[t].Children {
+			if c == leaf {
+				p += reach[t] * probs[i]
+				break
+			}
+		}
+	}
+	return p
+}
+
+func naiveEffectiveness(o *Org) float64 {
+	probs := make([]float64, len(o.attrs))
+	for i, a := range o.attrs {
+		leaf, ok := o.leafOf[a]
+		if !ok {
+			continue
+		}
+		topic := o.States[leaf].topic
+		probs[i] = naiveLeafProb(o, a, topic, naiveReachProbs(o, topic))
+	}
+	var sum float64
+	for _, t := range o.Lake.Tables {
+		sum += o.TableProb(t, probs)
+	}
+	if len(o.Lake.Tables) == 0 {
+		return 0
+	}
+	return sum / float64(len(o.Lake.Tables))
+}
+
+// kernelTestOrg builds a clustered organization over a small seeded
+// synthetic lake — large enough to have multi-level structure, small
+// enough that full naive evaluations stay cheap.
+func kernelTestOrg(t *testing.T, seed int64) *Org {
+	t.Helper()
+	cfg := synth.SmallTagCloudConfig()
+	cfg.Tags = 16
+	cfg.Attributes = 90
+	cfg.MaxValues = 60
+	cfg.Dim = 16
+	cfg.SuperTopics = 4
+	cfg.Seed = seed
+	tc, err := synth.GenerateTagCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// assertKernelMatchesNaive compares every kernel-path quantity against
+// its naive reference on the organization's current shape.
+func assertKernelMatchesNaive(t *testing.T, o *Org, step int) {
+	t.Helper()
+	const tol = 1e-12
+	// Per-state transition distributions under a few query topics.
+	var queryTopics []vector.Vector
+	for _, a := range o.Attrs() {
+		queryTopics = append(queryTopics, o.State(o.Leaf(a)).topic)
+		if len(queryTopics) == 5 {
+			break
+		}
+	}
+	for _, topic := range queryTopics {
+		for _, s := range o.States {
+			if s.deleted || s.Kind == KindLeaf {
+				continue
+			}
+			got := o.childTransitions(s.ID, topic)
+			want := naiveChildTransitions(o, s.ID, topic)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > tol {
+					t.Fatalf("step %d state %d child %d: kernel %v != naive %v",
+						step, s.ID, i, got[i], want[i])
+				}
+			}
+		}
+		gotReach := o.ReachProbs(topic)
+		wantReach := naiveReachProbs(o, topic)
+		for id := range wantReach {
+			if math.Abs(gotReach[id]-wantReach[id]) > tol {
+				t.Fatalf("step %d state %d: kernel reach %v != naive %v",
+					step, id, gotReach[id], wantReach[id])
+			}
+		}
+	}
+	// Per-attribute discovery probabilities and the full objective.
+	probs := o.AttrDiscoveryProbs()
+	for i, a := range o.Attrs() {
+		leaf := o.State(o.Leaf(a))
+		want := naiveLeafProb(o, a, leaf.topic, naiveReachProbs(o, leaf.topic))
+		if math.Abs(probs[i]-want) > tol {
+			t.Fatalf("step %d attr %d: kernel P(A|O) %v != naive %v", step, i, probs[i], want)
+		}
+	}
+	if got, want := o.Effectiveness(), naiveEffectiveness(o); math.Abs(got-want) > tol {
+		t.Fatalf("step %d: kernel effectiveness %v != naive %v", step, got, want)
+	}
+}
+
+// The kernel's central property: with cached norms, every navigation
+// quantity — transition softmax, reach, discovery probability,
+// effectiveness — agrees with the naive two-Norms-per-cosine path
+// within 1e-12, on freshly built organizations and after arbitrary
+// committed search operations (which exercise the accumulator-side norm
+// maintenance).
+func TestSimilarityKernelMatchesNaive(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		o := kernelTestOrg(t, seed)
+		assertKernelMatchesNaive(t, o, -1)
+		rng := rand.New(rand.NewSource(seed * 31))
+		for step := 0; step < 6; step++ {
+			if _, _, ok := applyRandomOp(o, rng); !ok {
+				break
+			}
+			if err := o.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			assertKernelMatchesNaive(t, o, step)
+		}
+	}
+}
+
+// Cached norms must survive undo exactly: an operation followed by Undo
+// restores both topics and their norms (Validate checks the invariant).
+func TestKernelNormInvariantAfterUndo(t *testing.T) {
+	o := kernelTestOrg(t, 3)
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 10; step++ {
+		_, u, ok := applyRandomOp(o, rng)
+		if !ok {
+			break
+		}
+		o.Undo(u)
+		if err := o.Validate(); err != nil {
+			t.Fatalf("step %d after undo: %v", step, err)
+		}
+	}
+}
+
+// Worker-count invariance: the evaluator's results are bit-identical —
+// not merely close — for any pool size, because every worker owns its
+// index ranges and reductions run serially in query order.
+func TestEvaluatorWorkerCountInvariance(t *testing.T) {
+	o1 := kernelTestOrg(t, 11)
+	o8 := kernelTestOrg(t, 11)
+	ev1, err := NewEvaluatorWorkers(o1, 0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev8, err := NewEvaluatorWorkers(o8, 0, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Effectiveness() != ev8.Effectiveness() {
+		t.Fatalf("construction: workers=1 eff %v != workers=8 eff %v",
+			ev1.Effectiveness(), ev8.Effectiveness())
+	}
+	rng1 := rand.New(rand.NewSource(13))
+	rng8 := rand.New(rand.NewSource(13))
+	for step := 0; step < 12; step++ {
+		cs1, u1, ok := applyRandomOp(o1, rng1)
+		if !ok {
+			break
+		}
+		cs8, u8, _ := applyRandomOp(o8, rng8)
+		e1 := ev1.Reevaluate(cs1)
+		e8 := ev8.Reevaluate(cs8)
+		if e1 != e8 {
+			t.Fatalf("step %d: workers=1 eff %v != workers=8 eff %v", step, e1, e8)
+		}
+		for i := range o1.Attrs() {
+			if ev1.AttrProb(i) != ev8.AttrProb(i) {
+				t.Fatalf("step %d attr %d: workers=1 %v != workers=8 %v",
+					step, i, ev1.AttrProb(i), ev8.AttrProb(i))
+			}
+		}
+		mr1, mr8 := ev1.MeanReach(), ev8.MeanReach()
+		for id := range mr1 {
+			if mr1[id] != mr8[id] {
+				t.Fatalf("step %d state %d: mean reach %v != %v", step, id, mr1[id], mr8[id])
+			}
+		}
+		if step%3 == 2 {
+			o1.Undo(u1)
+			ev1.Rollback()
+			o8.Undo(u8)
+			ev8.Rollback()
+		} else {
+			ev1.Commit()
+			ev8.Commit()
+		}
+	}
+}
+
+// Race coverage for the parallel evaluator: force a multi-goroutine
+// pool and drive full Reevaluate/Commit and Reevaluate/Rollback cycles
+// plus MeanReach reductions. Run with -race this pins the ownership
+// discipline (per-query rows, fixed rollback-log segments, serial
+// compaction); without -race it still checks the caches stay exact.
+func TestEvaluatorParallelReevaluateRace(t *testing.T) {
+	// The full small TagCloud keeps query count × pruned work above the
+	// serial-work floor, so Reevaluate genuinely forks workers here.
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewClustered(tc.Lake, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluatorWorkers(o, 0, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for step := 0; step < 20; step++ {
+		effBefore := ev.Effectiveness()
+		cs, u, ok := applyRandomOp(o, rng)
+		if !ok {
+			break
+		}
+		ev.Reevaluate(cs)
+		ev.MeanReach()
+		if step%2 == 1 {
+			o.Undo(u)
+			if err := ev.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Effectiveness() != effBefore {
+				t.Fatalf("step %d: rollback eff %v != %v", step, ev.Effectiveness(), effBefore)
+			}
+			continue
+		}
+		if err := ev.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the cycle storm the caches must still match a fresh exact
+	// evaluation of the final organization.
+	fresh, err := NewEvaluatorWorkers(o, 0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ev.Effectiveness() - fresh.Effectiveness()); d > 1e-9 {
+		t.Fatalf("post-storm eff %v != fresh %v", ev.Effectiveness(), fresh.Effectiveness())
+	}
+}

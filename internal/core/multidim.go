@@ -53,8 +53,16 @@ type MultiDimConfig struct {
 	// Resume, together with Checkpoint, resumes any dimension whose
 	// checkpoint file exists, parses, and matches the dimension's tag
 	// group; stale or corrupt files are ignored and the dimension is
-	// rebuilt from scratch — resume never fails a build.
+	// rebuilt from scratch — resume never fails a build. Resume applies
+	// only to single-restart builds: with Restarts > 1 each dimension is
+	// a fresh multi-restart search.
 	Resume bool
+	// Restarts runs each dimension's local search that many times with
+	// derived seeds and keeps the most effective result (values < 2 run
+	// the search once). With Checkpoint set, restart r of dimension i
+	// snapshots to Checkpoint.Path + ".dim<i>.r<r>" so restarts never
+	// clobber each other's progress files.
+	Restarts int
 }
 
 // DimCheckpointPath returns the checkpoint file used for dimension dim
@@ -159,6 +167,10 @@ func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig)
 		}
 		oc := *cfg.Optimize
 		oc.Seed = cfg.Seed + int64(i)*7919
+		restarts := cfg.Restarts
+		if restarts < 1 {
+			restarts = 1
+		}
 		if cfg.Checkpoint != nil {
 			cc := *cfg.Checkpoint
 			cc.Path = DimCheckpointPath(cfg.Checkpoint.Path, i)
@@ -166,23 +178,39 @@ func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig)
 			cc.TagGroup = groups[i]
 			oc.Checkpoint = &cc
 		}
-		o, st := resumeDimension(ctx, l, i, groups[i], oc, cfg.Resume)
-		if o == nil {
-			built, err := NewClustered(l, bc)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
-				return
-			}
-			o, st, err = OptimizeContext(ctx, built, oc)
+		var o *Org
+		var st *OptimizeStats
+		if restarts > 1 {
+			var err error
+			o, st, err = OptimizeRestartsContext(ctx, func() (*Org, error) {
+				return NewClustered(l, bc)
+			}, oc, restarts)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: dimension %d optimize: %w", i, err)
 				return
 			}
+		} else {
+			o, st = resumeDimension(ctx, l, i, groups[i], oc, cfg.Resume)
+			if o == nil {
+				built, err := NewClustered(l, bc)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: dimension %d: %w", i, err)
+					return
+				}
+				o, st, err = OptimizeContext(ctx, built, oc)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: dimension %d optimize: %w", i, err)
+					return
+				}
+			}
 		}
 		if oc.Checkpoint != nil && oc.Checkpoint.Path != "" && !st.Truncated {
-			// The search converged; the checkpoint has served its
+			// The search converged; the checkpoints have served their
 			// purpose and must not seed a future unrelated build.
 			os.Remove(oc.Checkpoint.Path)
+			for r := 0; r < restarts; r++ {
+				os.Remove(RestartCheckpointPath(oc.Checkpoint.Path, r))
+			}
 		}
 		stats[i] = st
 		m.Orgs[i] = o

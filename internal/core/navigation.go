@@ -14,6 +14,13 @@ import (
 // factors wash out topic signal, which is what drives the model away
 // from flat organizations.
 func (o *Org) childTransitions(s StateID, topic vector.Vector) []float64 {
+	return o.childTransitionsN(s, topic, vector.Norm(topic))
+}
+
+// childTransitionsN is childTransitions with the query topic's norm
+// precomputed, the kernel-path entry the evaluator uses: one Dot per
+// child via the cached child norms instead of two Norms and a Dot.
+func (o *Org) childTransitionsN(s StateID, topic vector.Vector, topicNorm float64) []float64 {
 	children := o.States[s].Children
 	if len(children) == 0 {
 		return nil
@@ -22,7 +29,7 @@ func (o *Org) childTransitions(s StateID, topic vector.Vector) []float64 {
 	scale := o.Gamma / float64(len(children))
 	maxLogit := math.Inf(-1)
 	for i, c := range children {
-		probs[i] = scale * vector.Cosine(o.States[c].topic, topic)
+		probs[i] = scale * o.cosToState(c, topic, topicNorm)
 		if probs[i] > maxLogit {
 			maxLogit = probs[i]
 		}
@@ -54,6 +61,11 @@ func (o *Org) TransitionProbs(s StateID, topic vector.Vector) []float64 {
 // many leaf children (the paper notes the algorithm has no control over
 // the lowest-level branching factor); use LeafProb for it.
 func (o *Org) ReachProbs(topic vector.Vector) []float64 {
+	return o.reachProbsN(topic, vector.Norm(topic))
+}
+
+// reachProbsN is ReachProbs with the query topic's norm precomputed.
+func (o *Org) reachProbsN(topic vector.Vector, topicNorm float64) []float64 {
 	reach := make([]float64, len(o.States))
 	reach[o.Root] = 1
 	for _, id := range o.Topo() {
@@ -65,7 +77,7 @@ func (o *Org) ReachProbs(topic vector.Vector) []float64 {
 			// Children are leaves; no propagation needed.
 			continue
 		}
-		probs := o.childTransitions(id, topic)
+		probs := o.childTransitionsN(id, topic, topicNorm)
 		for i, c := range s.Children {
 			if o.States[c].Kind != KindLeaf {
 				reach[c] += reach[id] * probs[i]
@@ -80,6 +92,11 @@ func (o *Org) ReachProbs(topic vector.Vector) []float64 {
 // the reach mass of a's tag-state parents times the leaf-level
 // transition probabilities (Definition 1).
 func (o *Org) LeafProb(a lake.AttrID, topic vector.Vector, reach []float64) float64 {
+	return o.leafProbN(a, topic, vector.Norm(topic), reach)
+}
+
+// leafProbN is LeafProb with the query topic's norm precomputed.
+func (o *Org) leafProbN(a lake.AttrID, topic vector.Vector, topicNorm float64, reach []float64) float64 {
 	leaf, ok := o.leafOf[a]
 	if !ok {
 		return 0
@@ -89,7 +106,7 @@ func (o *Org) LeafProb(a lake.AttrID, topic vector.Vector, reach []float64) floa
 		if reach[t] == 0 {
 			continue
 		}
-		probs := o.childTransitions(t, topic)
+		probs := o.childTransitionsN(t, topic, topicNorm)
 		for i, c := range o.States[t].Children {
 			if c == leaf {
 				p += reach[t] * probs[i]
@@ -109,8 +126,8 @@ func (o *Org) DiscoveryProb(a lake.AttrID) float64 {
 	if !ok {
 		return 0
 	}
-	topic := o.States[leaf].topic
-	return o.LeafProb(a, topic, o.ReachProbs(topic))
+	topic, norm := o.States[leaf].topic, o.States[leaf].topicNorm
+	return o.leafProbN(a, topic, norm, o.reachProbsN(topic, norm))
 }
 
 // AttrDiscoveryProbs returns P(A|O) for every organized attribute,
@@ -170,6 +187,7 @@ func (o *Org) Effectiveness() float64 {
 // the visited states, root first, leaf last. The rng makes sessions
 // reproducible; a nil rng takes the most probable child at every step.
 func (o *Org) Walk(topic vector.Vector, rng *rand.Rand) []StateID {
+	topicNorm := vector.Norm(topic)
 	path := []StateID{o.Root}
 	cur := o.Root
 	for {
@@ -177,7 +195,7 @@ func (o *Org) Walk(topic vector.Vector, rng *rand.Rand) []StateID {
 		if len(s.Children) == 0 {
 			return path
 		}
-		probs := o.childTransitions(cur, topic)
+		probs := o.childTransitionsN(cur, topic, topicNorm)
 		var next StateID
 		if rng == nil {
 			best, bp := 0, -1.0

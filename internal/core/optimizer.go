@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"lakenav/internal/lake"
-	"lakenav/vector"
 )
 
 // OptimizeConfig controls the local search of Sec 3.3–3.4.
@@ -34,6 +33,11 @@ type OptimizeConfig struct {
 	// are the most numerous states, so they are sampled. Zero means 25;
 	// negative disables leaf proposals.
 	LeafProposals int
+	// Workers bounds the evaluator's goroutine pool for the per-query
+	// loops; 0 selects GOMAXPROCS. Evaluation results — and therefore
+	// the search trajectory — are identical for every value, so Workers
+	// is not part of the checkpointed trajectory config.
+	Workers int
 	// AcceptExponent controls the downhill-acceptance rule. Negative
 	// (the default) is greedy: only non-worsening operations are
 	// accepted. Positive values accept a worse organization with
@@ -149,7 +153,7 @@ func OptimizeContext(ctx context.Context, org *Org, cfg OptimizeConfig) (*Org, *
 	cfg.defaults()
 	src := newSearchSource(cfg.Seed)
 	rng := newSearchRand(src)
-	ev, err := NewEvaluator(org, cfg.RepFraction, rng)
+	ev, err := NewEvaluatorWorkers(org, cfg.RepFraction, rng, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -565,7 +569,7 @@ func pickOperations(org *Org, sid StateID, levels []int, meanReach []float64, rn
 		}
 		addParentOp(argmaxID(cands, func(id StateID) float64 { return meanReach[id] }))
 		addParentOp(argmaxID(cands, func(id StateID) float64 {
-			return vectorCos(org.States[id].topic, s.topic)
+			return stateCos(org.States[id], s)
 		}))
 		if t := worstLeafParent(org, sid, meanReach); t >= 0 {
 			ops = append(ops, func() *UndoLog { return org.RemoveLeafParentOp(t, sid) })
@@ -574,7 +578,7 @@ func pickOperations(org *Org, sid StateID, levels []int, meanReach []float64, rn
 		cands := legalNewParents(org, sid, levels)
 		addParentOp(argmaxID(cands, func(id StateID) float64 { return meanReach[id] }))
 		addParentOp(argmaxID(cands, func(id StateID) float64 {
-			return vectorCos(org.States[id].topic, s.topic)
+			return stateCos(org.States[id], s)
 		}))
 		if len(cands) > 0 {
 			addParentOp(cands[rng.Intn(len(cands))])
@@ -660,14 +664,6 @@ func worstLeafParent(org *Org, sid StateID, meanReach []float64) StateID {
 	return best
 }
 
-// vectorCos is a nil-safe cosine for candidate scoring.
-func vectorCos(a, b vector.Vector) float64 {
-	if a == nil || b == nil {
-		return 0
-	}
-	return vector.Cosine(a, b)
-}
-
 // debugOptimizer enables proposal tracing (LAKENAV_DEBUG_OPT=1).
 var debugOptimizer = os.Getenv("LAKENAV_DEBUG_OPT") == "1"
 
@@ -675,27 +671,66 @@ var debugOptimizer = os.Getenv("LAKENAV_DEBUG_OPT") == "1"
 // seeds, each on a fresh copy of the initial organization built by
 // build, and returns the most effective result. Greedy acceptance makes
 // individual runs cheap but local; independent restarts are the
-// standard remedy. The build function is called once per restart (plus
-// once for the returned organization when a later restart wins).
+// standard remedy. The build function is called once per restart.
 func OptimizeRestarts(build func() (*Org, error), cfg OptimizeConfig, restarts int) (*Org, *OptimizeStats, error) {
+	return OptimizeRestartsContext(context.Background(), build, cfg, restarts)
+}
+
+// RestartCheckpointPath derives the checkpoint file restart r of a
+// multi-restart search writes to: base + ".r<r>". Restarts are
+// independent searches with different seeds, so they must never share a
+// file — a shared path would have each restart clobber the previous
+// one's snapshot, and a resume would then continue restart 0 from
+// restart N-1's state.
+func RestartCheckpointPath(base string, r int) string {
+	return fmt.Sprintf("%s.r%d", base, r)
+}
+
+// OptimizeRestartsContext is OptimizeRestarts with cancellation and
+// checkpoint support. Cancellation degrades gracefully: the in-flight
+// restart stops at its next iteration boundary, later restarts are
+// skipped, and the best organization found so far is returned with
+// stats.Truncated set — never an error. When cfg.Checkpoint is set and
+// restarts > 1, each restart snapshots to its own derived path
+// (RestartCheckpointPath), so concurrent progress files never collide.
+func OptimizeRestartsContext(ctx context.Context, build func() (*Org, error), cfg OptimizeConfig, restarts int) (*Org, *OptimizeStats, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
 	var bestOrg *Org
 	var bestStats *OptimizeStats
 	for r := 0; r < restarts; r++ {
+		if r > 0 && ctx.Err() != nil {
+			// Canceled between restarts: the remaining ones are skipped,
+			// and the result is best-so-far, marked truncated.
+			bestStats.Truncated = true
+			break
+		}
 		org, err := build()
 		if err != nil {
 			return nil, nil, err
 		}
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(r)*104729
-		stats, err := Optimize(org, runCfg)
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Path != "" && restarts > 1 {
+			ck := *cfg.Checkpoint
+			ck.Path = RestartCheckpointPath(cfg.Checkpoint.Path, r)
+			runCfg.Checkpoint = &ck
+		}
+		res, stats, err := OptimizeContext(ctx, org, runCfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		if bestStats == nil || stats.FinalEff > bestStats.FinalEff {
-			bestOrg, bestStats = org, stats
+			bestOrg, bestStats = res, stats
+		}
+		if stats.Truncated {
+			// The in-flight restart was cut short; whatever won so far is
+			// the final answer, and the caller must see the truncation
+			// even when an earlier, completed restart holds the best
+			// effectiveness.
+			bestStats.Truncated = true
+			break
 		}
 	}
 	return bestOrg, bestStats, nil

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"lakenav/internal/lake"
@@ -86,6 +87,11 @@ type State struct {
 	run *vector.Running
 	// topic caches run's mean (or the attribute topic for leaves).
 	topic vector.Vector
+	// topicNorm caches ‖topic‖₂ so every cosine against the state costs
+	// one Dot (vector.CosineNorms) instead of two Norms and a Dot. It is
+	// maintained by setTopic wherever topic changes; Validate checks the
+	// invariant topicNorm == Norm(topic).
+	topicNorm float64
 
 	deleted bool
 }
@@ -95,6 +101,16 @@ func (s *State) Deleted() bool { return s.deleted }
 
 // Topic returns the state's topic vector μ_s.
 func (s *State) Topic() vector.Vector { return s.topic }
+
+// TopicNorm returns the cached L2 norm of the state's topic vector.
+func (s *State) TopicNorm() float64 { return s.topicNorm }
+
+// setTopic installs a new topic vector and its cached norm. All topic
+// writes go through here so the norm can never go stale.
+func (s *State) setTopic(t vector.Vector) {
+	s.topic = t
+	s.topicNorm = vector.Norm(t)
+}
 
 // HasAttr reports whether attribute a is in the state's domain D_s.
 func (s *State) HasAttr(a lake.AttrID) bool {
@@ -293,7 +309,8 @@ func (o *Org) addSupport(id StateID, attrs []lake.AttrID) []lake.AttrID {
 		}
 	}
 	if len(entered) > 0 {
-		s.topic, _ = s.run.Mean()
+		t, _ := s.run.Mean()
+		s.setTopic(t)
 		o.noteTopicChanged(id)
 	}
 	return entered
@@ -316,7 +333,8 @@ func (o *Org) removeSupport(id StateID, attrs []lake.AttrID) []lake.AttrID {
 		}
 	}
 	if len(left) > 0 {
-		s.topic, _ = s.run.Mean()
+		t, _ := s.run.Mean()
+		s.setTopic(t)
 		o.noteTopicChanged(id)
 	}
 	return left
@@ -516,6 +534,11 @@ func (o *Org) Validate() error {
 			if !containsID(o.States[p].Children, s.ID) {
 				return fmt.Errorf("core: edge %d→%d missing forward edge", p, s.ID)
 			}
+		}
+		// The cached topic norm must match the topic it was derived from
+		// (the similarity-kernel invariant).
+		if got, want := s.topicNorm, vector.Norm(s.topic); math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("core: state %d cached topic norm %v, recomputed %v", s.ID, got, want)
 		}
 		// Support counts must equal the number of children containing
 		// each attribute.

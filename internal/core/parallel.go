@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The evaluator's per-query loops are embarrassingly parallel — each
+// query owns its reach row — so they run on a bounded pool of
+// goroutines. Results are deterministic regardless of worker count:
+// every worker writes only to index ranges it owns, and reductions
+// happen serially afterwards in query order.
+
+// serialWorkFloor is the approximate cell count (queries × states
+// touched) below which forking goroutines costs more than it saves and
+// the loops run serially. Reevaluate after a well-pruned operation
+// touches a handful of states; spawning workers for that would slow the
+// optimizer's inner loop down.
+const serialWorkFloor = 2048
+
+// resolveWorkers maps a configured pool size to an effective one:
+// non-positive selects GOMAXPROCS.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelFor runs fn over the contiguous chunks of [0, n) on up to
+// workers goroutines and returns when all chunks are done. workers <= 1
+// (or n <= 1) degenerates to a plain serial call on the calling
+// goroutine.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -171,6 +171,13 @@ type Config struct {
 	MaxIterations int
 	// Seed makes construction reproducible.
 	Seed int64
+	// Workers bounds the evaluator's goroutine pool during search; 0
+	// selects GOMAXPROCS. The result is identical for every value — the
+	// pool only changes wall-clock time.
+	Workers int
+	// Restarts runs each dimension's search that many times with derived
+	// seeds and keeps the most effective result; values < 2 search once.
+	Restarts int
 	// CheckpointPath, when non-empty, periodically snapshots the search
 	// so a killed build can continue where it left off: dimension i
 	// checkpoints atomically to CheckpointPath + ".dim<i>", and a clean
@@ -224,6 +231,7 @@ func OrganizeContext(ctx context.Context, l *Lake, cfg Config) (*Organization, e
 			RepFraction:   cfg.RepFraction,
 			MaxIterations: cfg.MaxIterations,
 			Seed:          cfg.Seed,
+			Workers:       cfg.Workers,
 		}
 	}
 	mc := core.MultiDimConfig{
@@ -232,6 +240,7 @@ func OrganizeContext(ctx context.Context, l *Lake, cfg Config) (*Organization, e
 		Optimize: opt,
 		Seed:     cfg.Seed,
 		Parallel: true,
+		Restarts: cfg.Restarts,
 	}
 	if cfg.CheckpointPath != "" {
 		mc.Checkpoint = &core.CheckpointConfig{

@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench.sh — benchmark snapshot. Runs the similarity-kernel and
+# parallel-evaluator micro-benchmarks (each paired with its pre-kernel
+# Naive / single-worker Serial baseline) plus the Figure 2 experiment
+# benchmarks, and writes a JSON snapshot — default BENCH_pr2.json —
+# with raw ns/op and the speedup ratios. `make bench` is the friendly
+# entry point; pass a path to write elsewhere, and set BENCHTIME to
+# trade stability for wall-clock.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr2.json}
+BENCHTIME=${BENCHTIME:-300ms}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> micro benchmarks (internal/core, -benchtime=$BENCHTIME)"
+go test ./internal/core/ -run '^$' \
+	-bench '^(BenchmarkChildTransitions(Naive)?|BenchmarkReevaluate(Serial|Naive)?|BenchmarkNewEvaluator(Serial)?)$' \
+	-benchtime="$BENCHTIME" | tee "$TMP"
+
+echo "==> Figure 2 benchmarks (-benchtime=1x)"
+go test . -run '^$' -bench '^BenchmarkFigure2(aTagCloud|bSocrata)$' \
+	-benchtime=1x | tee -a "$TMP"
+
+awk -v out="$OUT" -v bt="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i - 1)
+}
+END {
+	nkeys = split("ChildTransitions ChildTransitionsNaive Reevaluate " \
+		"ReevaluateSerial ReevaluateNaive NewEvaluator NewEvaluatorSerial " \
+		"Figure2aTagCloud Figure2bSocrata", keys, " ")
+	printf("{\n") > out
+	printf("  \"benchtime\": \"%s\",\n", bt) >> out
+	printf("  \"ns_per_op\": {") >> out
+	first = 1
+	for (i = 1; i <= nkeys; i++) {
+		k = keys[i]
+		if (k in ns) {
+			printf("%s\n    \"%s\": %s", first ? "" : ",", k, ns[k]) >> out
+			first = 0
+		}
+	}
+	printf("\n  },\n") >> out
+	printf("  \"speedup\": {\n") >> out
+	printf("    \"child_transitions_kernel_vs_naive\": %.3f,\n", \
+		ns["ChildTransitionsNaive"] / ns["ChildTransitions"]) >> out
+	printf("    \"reevaluate_kernel_parallel_vs_naive\": %.3f,\n", \
+		ns["ReevaluateNaive"] / ns["Reevaluate"]) >> out
+	printf("    \"reevaluate_parallel_vs_serial\": %.3f,\n", \
+		ns["ReevaluateSerial"] / ns["Reevaluate"]) >> out
+	printf("    \"new_evaluator_parallel_vs_serial\": %.3f\n", \
+		ns["NewEvaluatorSerial"] / ns["NewEvaluator"]) >> out
+	printf("  }\n}\n") >> out
+}
+' "$TMP"
+
+echo "bench: wrote $OUT"

@@ -15,4 +15,9 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Benchmarks compile and run: one iteration of everything keeps the
+# bench harness (and tools/bench.sh's parse targets) from bit-rotting.
+echo "==> go test -run '^\$' -bench . -benchtime=1x ./..."
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "verify: OK"
