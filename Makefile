@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench clean
+.PHONY: build test race vet verify bench benchgate fmt-check ci clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,27 @@ verify:
 # BENCH_pr2.json with speedup ratios (tools/bench.sh).
 bench:
 	sh tools/bench.sh
+
+# Gate the kernel-vs-naive speedup ratios in the latest bench snapshot
+# (tools/benchgate.sh). Run `make bench` first, or let `make ci` do both.
+benchgate:
+	sh tools/benchgate.sh
+
+# Fail if any file needs gofmt — same check the CI lint job runs.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# Everything .github/workflows/ci.yml runs, locally: the full verify
+# gate, the lint checks, and the bench-regression smoke at reduced
+# benchtime.
+ci: fmt-check verify
+	BENCHTIME=50ms sh tools/bench.sh BENCH_ci.json
+	sh tools/benchgate.sh BENCH_ci.json
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	lakenav stats -lake lake.json
 //	lakenav organize -lake lake.json [-dims N] [-no-opt] [-seed N] [-export org.json]
 //	                 [-checkpoint search.ck] [-resume] [-timeout 5m]
+//	                 [-progress events.ndjson]
 //	lakenav search -lake lake.json -q "query" [-k N]
 //	lakenav walk -lake lake.json -q "query" [-dims N]
 package main
@@ -22,6 +23,7 @@ import (
 	"syscall"
 
 	"lakenav"
+	"lakenav/internal/obs"
 	"lakenav/internal/synth"
 )
 
@@ -141,6 +143,7 @@ func cmdOrganize(args []string) error {
 	timeout := fs.Duration("timeout", 0, "optional build time budget; on expiry the best organization so far is returned")
 	workers := fs.Int("workers", 0, "evaluator goroutine pool size; 0 uses all CPUs (results are identical for any value)")
 	restarts := fs.Int("restarts", 1, "independent searches per dimension, keeping the most effective (restart r appends .r<r> to checkpoint files)")
+	progress := fs.String("progress", "", "stream optimizer progress to this file as NDJSON, one event per iteration")
 	fs.Parse(args)
 	l, err := loadLake(*path)
 	if err != nil {
@@ -154,6 +157,19 @@ func cmdOrganize(args []string) error {
 	cfg.Resume = *resume
 	cfg.Workers = *workers
 	cfg.Restarts = *restarts
+	var sink *obs.Sink
+	if *progress != "" {
+		if !cfg.Optimize {
+			return fmt.Errorf("-progress requires optimization (drop -no-opt)")
+		}
+		f, err := os.Create(*progress)
+		if err != nil {
+			return fmt.Errorf("progress file: %w", err)
+		}
+		defer f.Close()
+		sink = obs.NewSink(f)
+		cfg.Progress = func(p lakenav.ProgressEvent) { sink.Emit(p) }
+	}
 	// Ctrl-C (or the -timeout budget) stops the search at its next safe
 	// boundary and falls through to reporting the best-so-far result.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -166,6 +182,13 @@ func cmdOrganize(args []string) error {
 	org, err := lakenav.OrganizeContext(ctx, l, cfg)
 	if err != nil {
 		return err
+	}
+	if sink != nil {
+		// A failed progress stream (disk full, revoked path) degrades
+		// the observability, never the build: warn and keep the result.
+		if serr := sink.Err(); serr != nil {
+			fmt.Fprintf(os.Stderr, "lakenav: progress stream %s: %v\n", *progress, serr)
+		}
 	}
 	if org.Truncated() {
 		msg := "search interrupted; reporting best-so-far organization"

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lakenav"
 )
 
 // genQuickLake writes a small synthetic lake for the other subcommand
@@ -54,6 +58,65 @@ func TestCmdOrganizeAndExport(t *testing.T) {
 	}
 	if fi, err := os.Stat(orgPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("exported org missing: %v", err)
+	}
+}
+
+// -progress streams one valid NDJSON event per optimizer iteration
+// plus one closing event per search — the contract an operator's
+// `tail -f | jq` session depends on.
+func TestCmdOrganizeProgressNDJSON(t *testing.T) {
+	path := genQuickLake(t)
+	progressPath := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := cmdOrganize([]string{"-lake", path, "-progress", progressPath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(progressPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var events []lakenav.ProgressEvent
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var p lakenav.ProgressEvent
+		if err := json.Unmarshal(scanner.Bytes(), &p); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(events)+1, err, scanner.Text())
+		}
+		events = append(events, p)
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("only %d events streamed", len(events))
+	}
+	finals, iterations := 0, 0
+	for _, p := range events {
+		if p.Accepted+p.Rejected != p.Iteration {
+			t.Errorf("inconsistent event %+v", p)
+		}
+		if p.Final {
+			finals++
+			iterations += p.Iteration
+		}
+	}
+	if finals != 1 {
+		t.Errorf("%d closing events for a 1-dimension 1-restart build", finals)
+	}
+	// Every iteration got its own line: per-iteration events plus the
+	// closing ones account for the whole file.
+	if got := len(events) - finals; got != iterations {
+		t.Errorf("%d per-iteration events for %d iterations", got, iterations)
+	}
+}
+
+func TestCmdOrganizeProgressRequiresOptimize(t *testing.T) {
+	path := genQuickLake(t)
+	progressPath := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := cmdOrganize([]string{"-lake", path, "-no-opt", "-progress", progressPath}); err == nil {
+		t.Error("-progress with -no-opt accepted")
 	}
 }
 

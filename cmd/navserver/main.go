@@ -3,6 +3,7 @@
 //
 //	navserver -lake lake.json [-org org.json] [-dims N] [-addr :8080]
 //	          [-checkpoint search.ck] [-resume] [-max-inflight 64]
+//	          [-pprof localhost:6060]
 //
 // API:
 //
@@ -11,6 +12,7 @@
 //	GET /api/search?q=terms&k=10     BM25 table search
 //	GET /healthz                     liveness (always 200 once listening)
 //	GET /readyz                      readiness (503 until the organization is built)
+//	GET /metrics                     JSON metrics (requests, latencies, build progress)
 //	GET /                            HTML browser
 //
 // The server is built to stay up: keyword search is served from the lake
@@ -60,13 +62,19 @@ type server struct {
 	// sem bounds concurrently served requests; a full semaphore sheds
 	// load with 503 instead of queueing without bound.
 	sem chan struct{}
+	// metrics is this server's registry, exported via /metrics.
+	metrics *serverMetrics
 }
 
 func newServer(search *lakenav.SearchEngine, maxInflight int) *server {
 	if maxInflight <= 0 {
 		maxInflight = defaultInflight
 	}
-	return &server{search: search, sem: make(chan struct{}, maxInflight)}
+	return &server{
+		search:  search,
+		sem:     make(chan struct{}, maxInflight),
+		metrics: newServerMetrics(),
+	}
 }
 
 func (s *server) setOrganization(org *lakenav.Organization) { s.org.Store(org) }
@@ -76,7 +84,8 @@ func (s *server) setOrganization(org *lakenav.Organization) { s.org.Store(org) }
 func (s *server) organization() *lakenav.Organization { return s.org.Load() }
 
 // handler assembles the route table inside the middleware chain:
-// panic recovery outermost, then request logging, then load shedding.
+// panic recovery outermost, then request logging, then metrics (so
+// shed responses are metered too), then load shedding.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/node", s.handleNode)
@@ -84,8 +93,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/api/search", s.handleSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", s.handleIndex)
-	return recoverware(logware(s.limitware(mux)))
+	return recoverware(logware(s.metricsware(s.limitware(mux))))
 }
 
 func main() {
@@ -98,6 +108,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", defaultInflight, "maximum concurrently served requests before shedding with 503")
 	workers := flag.Int("workers", 0, "evaluator goroutine pool size for the background build; 0 uses all CPUs")
 	restarts := flag.Int("restarts", 1, "independent searches per dimension in the background build, keeping the most effective")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -125,8 +136,13 @@ func main() {
 		cfg.Resume = *resume
 		cfg.Workers = *workers
 		cfg.Restarts = *restarts
+		// Optimizer progress events drive the build.* gauges, so an
+		// operator can watch a long build converge via /metrics.
+		cfg.Progress = s.metrics.noteBuildProgress
+		s.metrics.buildRunning.Set(1)
 		log.Printf("organizing %d tables in the background…", l.Tables())
 		go func() {
+			defer s.metrics.buildRunning.Set(0)
 			org, err := lakenav.OrganizeContext(ctx, l, cfg)
 			if err != nil {
 				log.Printf("navserver: organize: %v (navigation unavailable; search still served)", err)
@@ -138,6 +154,17 @@ func main() {
 				return
 			}
 			log.Printf("organization ready (%d dimensions)", org.Dimensions())
+		}()
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener: no public exposure, no
+		// request timeouts, no load-shedding budget (see pprofMux).
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
+				log.Printf("navserver: pprof: %v", err)
+			}
 		}()
 	}
 
@@ -206,11 +233,13 @@ func logware(next http.Handler) http.Handler {
 }
 
 // limitware sheds load once maxInflight requests are in flight. Health
-// probes bypass the limit: an overloaded server is still alive, and
-// orchestrators must be able to see that.
+// probes and the metrics export bypass the limit: an overloaded server
+// is still alive, and orchestrators (and the operator debugging the
+// overload) must be able to see that.
 func (s *server) limitware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+		switch r.URL.Path {
+		case "/healthz", "/readyz", "/metrics":
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -219,6 +248,7 @@ func (s *server) limitware(next http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			next.ServeHTTP(w, r)
 		default:
+			s.metrics.shed.Inc()
 			http.Error(w, "overloaded", http.StatusServiceUnavailable)
 		}
 	})

@@ -291,10 +291,148 @@ func TestLimitwareShedsLoad(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("saturated server returned %d", rec.Code)
 	}
+	if got := s.metrics.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d after one shed 503", got)
+	}
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("healthz under saturation returned %d", rec.Code)
+	}
+	// /metrics bypasses the semaphore too: the observability endpoint
+	// must answer precisely when the server is drowning.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("metrics under saturation returned %d", rec.Code)
+	}
+	if got := s.metrics.requests["/api/search"].Value(); got != 1 {
+		t.Errorf("shed request not metered: search requests = %d", got)
+	}
+	if got := s.metrics.status["5xx"].Value(); got != 1 {
+		t.Errorf("shed 503 not booked under 5xx: %d", got)
+	}
+}
+
+// /metrics exports the server registry — request counters, latency
+// histograms, status classes — next to the process-wide core registry.
+func TestHandleMetrics(t *testing.T) {
+	s := testServer(t)
+	h := s.handler()
+	do := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+	do("/api/node")
+	do("/api/node?path=0")
+	do("/api/search?q=salmon")
+	do("/api/suggest") // 400: books under 4xx
+
+	rec := do("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var resp struct {
+		Server struct {
+			Counters   map[string]uint64 `json:"counters"`
+			Gauges     map[string]int64  `json:"gauges"`
+			Values     map[string]float64
+			Histograms map[string]struct {
+				Count   uint64 `json:"count"`
+				Sum     float64
+				Buckets []struct {
+					Le    string `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"histograms"`
+		} `json:"server"`
+		Core struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"core"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Server.Counters["http.requests./api/node"]; got != 2 {
+		t.Errorf("node requests = %d, want 2", got)
+	}
+	if got := resp.Server.Counters["http.status.2xx"]; got < 3 {
+		t.Errorf("2xx = %d, want >= 3", got)
+	}
+	if got := resp.Server.Counters["http.status.4xx"]; got != 1 {
+		t.Errorf("4xx = %d, want 1", got)
+	}
+	hist, ok := resp.Server.Histograms["http.latency_seconds./api/search"]
+	if !ok || hist.Count != 1 || len(hist.Buckets) == 0 {
+		t.Errorf("search latency histogram = %+v, ok=%v", hist, ok)
+	} else if last := hist.Buckets[len(hist.Buckets)-1]; last.Le != "+Inf" {
+		t.Errorf("last bucket le = %q", last.Le)
+	}
+	// The /metrics request observes itself in flight: the snapshot runs
+	// inside metricsware, after the gauge was incremented.
+	if got := resp.Server.Gauges["http.inflight"]; got != 1 {
+		t.Errorf("inflight as seen by /metrics itself = %d, want 1", got)
+	}
+	if got := s.metrics.inflight.Value(); got != 0 {
+		t.Errorf("inflight after all responses done = %d", got)
+	}
+	// The build gauges exist even before any build runs; core counters
+	// advance because Organize in the test fixture ran the evaluator.
+	if _, ok := resp.Server.Gauges["build.running"]; !ok {
+		t.Error("build.running gauge missing")
+	}
+	if got := resp.Core.Counters["core.evaluator.builds_total"]; got == 0 {
+		t.Error("core evaluator counters absent from /metrics")
+	}
+}
+
+// Optimizer progress events drive the build gauges that /metrics exposes
+// while a background build is running.
+func TestBuildGaugesFollowProgress(t *testing.T) {
+	s := testServer(t)
+	s.metrics.noteBuildProgress(lakenav.ProgressEvent{
+		Dim: 1, Restart: 2, Iteration: 7, Accepted: 4, Rejected: 3,
+		CurrentEff: 1.25, BestEff: 1.5, Checkpoints: 1,
+	})
+	rec := get(t, s.handleMetrics, "/metrics")
+	var resp struct {
+		Server struct {
+			Counters map[string]uint64  `json:"counters"`
+			Gauges   map[string]int64   `json:"gauges"`
+			Values   map[string]float64 `json:"values"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	g := resp.Server.Gauges
+	if g["build.dim"] != 1 || g["build.restart"] != 2 || g["build.iteration"] != 7 ||
+		g["build.accepted"] != 4 || g["build.rejected"] != 3 || g["build.checkpoints"] != 1 {
+		t.Errorf("build gauges = %v", g)
+	}
+	if resp.Server.Counters["build.events_total"] != 1 {
+		t.Errorf("build.events_total = %d", resp.Server.Counters["build.events_total"])
+	}
+	v := resp.Server.Values
+	if v["build.current_eff"] != 1.25 || v["build.best_eff"] != 1.5 {
+		t.Errorf("build eff values = %v", v)
+	}
+}
+
+// The profiler lives on its own mux so it can be bound to a private
+// listener; the index and symbol routes must answer.
+func TestPprofMux(t *testing.T) {
+	mux := pprofMux()
+	for _, url := range []string{"/debug/pprof/", "/debug/pprof/symbol"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d", url, rec.Code)
+		}
 	}
 }
 

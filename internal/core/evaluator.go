@@ -146,6 +146,7 @@ func NewEvaluatorWorkers(org *Org, repFraction float64, rng *rand.Rand, workers 
 		}
 	})
 	ev.eff = ev.computeEff()
+	metricEvaluatorBuilds.Inc()
 	return ev, nil
 }
 
@@ -217,6 +218,7 @@ func (ev *Evaluator) computeEff() float64 {
 // by exactly one worker in ascending query order — the same order (and
 // therefore the same floating-point result) as a serial pass.
 func (ev *Evaluator) MeanReach() []float64 {
+	metricMeanReaches.Inc()
 	out := make([]float64, len(ev.org.States))
 	if len(ev.queries) == 0 {
 		return out
@@ -404,6 +406,9 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	}
 	ev.LastStatesVisited = visited
 	ev.LastAttrsVisited = attrsVisited
+	metricReevaluates.Inc()
+	metricStatesRevisited.Add(uint64(visited))
+	metricLeafEvals.Add(uint64(attrsVisited))
 	ev.eff = ev.computeEff()
 	return ev.eff
 }

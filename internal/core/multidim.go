@@ -167,6 +167,15 @@ func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig)
 		}
 		oc := *cfg.Optimize
 		oc.Seed = cfg.Seed + int64(i)*7919
+		if oc.Progress != nil {
+			// Dimensions search concurrently; stamp each one's events so
+			// a shared consumer can demultiplex them.
+			dim, base := i, oc.Progress
+			oc.Progress = func(p ProgressEvent) {
+				p.Dim = dim
+				base(p)
+			}
+		}
 		restarts := cfg.Restarts
 		if restarts < 1 {
 			restarts = 1
@@ -268,7 +277,10 @@ func resumeDimension(ctx context.Context, l *lake.Lake, dim int, tags []string, 
 	if err != nil || !ck.MatchesDimension(dim, tags) || ck.Config.Seed != oc.Seed {
 		return nil, nil
 	}
-	o, st, err := ResumeOptimizeContext(ctx, l, ck)
+	// The checkpoint dictates the trajectory; the caller's runtime-only
+	// knobs (pool size, observation hooks) carry over.
+	rt := RuntimeConfig{Workers: oc.Workers, Progress: oc.Progress, Probe: oc.Probe}
+	o, st, err := ResumeOptimizeRuntime(ctx, l, ck, rt)
 	if err != nil {
 		return nil, nil
 	}

@@ -1,0 +1,25 @@
+package core
+
+import "lakenav/internal/obs"
+
+// Hot-path instrumentation for the evaluator and its worker pool,
+// registered on the process-wide registry (navserver exports it under
+// /metrics as the "core" section). Everything here is an atomic add on
+// an already-resolved pointer — no lookups, no allocations — and none
+// of it feeds back into evaluation: results stay bit-identical with
+// metrics enabled, which the determinism tests pin.
+//
+// Worker-pool utilization is derived, not stored:
+// goroutines_total / (runs_total - serial_runs_total) is the mean fan-
+// out of the batches that did fork, and serial_runs_total / runs_total
+// is the fraction the serialWorkFloor kept on the calling goroutine.
+var (
+	metricEvaluatorBuilds = obs.Default.Counter("core.evaluator.builds_total")
+	metricReevaluates     = obs.Default.Counter("core.evaluator.reevaluate_total")
+	metricStatesRevisited = obs.Default.Counter("core.evaluator.states_revisited_total")
+	metricLeafEvals       = obs.Default.Counter("core.evaluator.leaf_evals_total")
+	metricMeanReaches     = obs.Default.Counter("core.evaluator.mean_reach_total")
+	metricParallelRuns    = obs.Default.Counter("core.parallel.runs_total")
+	metricParallelSerial  = obs.Default.Counter("core.parallel.serial_runs_total")
+	metricParallelForks   = obs.Default.Counter("core.parallel.goroutines_total")
+)

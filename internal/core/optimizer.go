@@ -61,6 +61,56 @@ type OptimizeConfig struct {
 	// tests (cancel at iteration k, latency injection); production
 	// callers leave it nil.
 	Probe func(iteration int)
+	// Progress, when non-nil, receives one ProgressEvent per completed
+	// iteration plus a final event (Final set) when the search stops.
+	// It is invoked synchronously on the search goroutine — and, in
+	// multi-dimensional builds, concurrently from each dimension's
+	// goroutine — so implementations must be goroutine-safe and fast.
+	// Progress is observation only: it can never change the search
+	// trajectory, so (like Workers) it is not part of the checkpointed
+	// config.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one observation of a running local search, shaped
+// for NDJSON emission (`lakenav organize -progress`) and for gauge
+// export (navserver /metrics during background builds).
+type ProgressEvent struct {
+	// Dim is the dimension index in a multi-dimensional build.
+	Dim int `json:"dim"`
+	// Restart is the restart index in a multi-restart search.
+	Restart int `json:"restart"`
+	// Iteration counts proposed operations so far (monotone within one
+	// search; resumed searches include pre-checkpoint work).
+	Iteration int `json:"iteration"`
+	// Accepted and Rejected partition Iteration.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// CurrentEff is P(T|O) of the organization the walk is on;
+	// BestEff is the best value seen so far.
+	CurrentEff float64 `json:"current_eff"`
+	BestEff    float64 `json:"best_eff"`
+	// ElapsedMS is wall-clock time since this search process started
+	// (excluding pre-checkpoint time for resumed searches).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Checkpoints counts snapshot writes so far in this run.
+	Checkpoints int `json:"checkpoints"`
+	// Final marks the one closing event of a search; Truncated on a
+	// final event reports a search stopped by cancellation.
+	Final     bool `json:"final,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// RuntimeConfig carries the knobs of a resumed search that are not
+// part of the checkpointed trajectory: they change how the search runs
+// (pool size, observation hooks), never where it goes.
+type RuntimeConfig struct {
+	// Workers bounds the evaluator pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Progress receives per-iteration events (see OptimizeConfig).
+	Progress func(ProgressEvent)
+	// Probe is the fault-injection test hook (see OptimizeConfig).
+	Probe func(iteration int)
 }
 
 func (c *OptimizeConfig) defaults() {
@@ -184,7 +234,19 @@ func OptimizeContext(ctx context.Context, org *Org, cfg OptimizeConfig) (*Org, *
 // identical to the one an uninterrupted process would have followed:
 // only the work since the last checkpoint is redone.
 func ResumeOptimizeContext(ctx context.Context, l *lake.Lake, ck *Checkpoint) (*Org, *OptimizeStats, error) {
+	return ResumeOptimizeRuntime(ctx, l, ck, RuntimeConfig{})
+}
+
+// ResumeOptimizeRuntime is ResumeOptimizeContext with explicit runtime
+// knobs. The checkpoint dictates the trajectory (seed, window, cadence
+// — the resumed result is identical either way); rt carries only the
+// observation hooks and pool size the checkpoint deliberately does not
+// store.
+func ResumeOptimizeRuntime(ctx context.Context, l *lake.Lake, ck *Checkpoint, rt RuntimeConfig) (*Org, *OptimizeStats, error) {
 	cfg := ck.searchConfig()
+	cfg.Workers = rt.Workers
+	cfg.Progress = rt.Progress
+	cfg.Probe = rt.Probe
 	cfg.defaults()
 	org, ev, src, err := rebuildSearchState(l, cfg, ck)
 	if err != nil {
@@ -372,9 +434,32 @@ func (s *search) noteIteration(undo *UndoLog, accepted bool) {
 	} else {
 		s.sinceImprove++
 	}
+	s.emitProgress(eff, false)
 	if s.cfg.Probe != nil {
 		s.cfg.Probe(st.Iterations)
 	}
+}
+
+// emitProgress fires the Progress callback with the search's current
+// counters. The event is a stack value and the callback is gated on
+// nil, so an unobserved search pays one branch per iteration.
+func (s *search) emitProgress(currentEff float64, final bool) {
+	if s.cfg.Progress == nil {
+		return
+	}
+	st := s.stats
+	s.cfg.Progress(ProgressEvent{
+		Dim:         s.dim,
+		Iteration:   st.Iterations,
+		Accepted:    st.Accepted,
+		Rejected:    st.Rejected,
+		CurrentEff:  currentEff,
+		BestEff:     s.bestEff,
+		ElapsedMS:   float64(time.Since(s.started)) / float64(time.Millisecond),
+		Checkpoints: st.Checkpoints,
+		Final:       final,
+		Truncated:   final && st.Truncated,
+	})
 }
 
 // maybeCheckpoint snapshots the search at a traversal boundary once
@@ -460,6 +545,7 @@ func (s *search) finish() (*Org, *OptimizeStats, error) {
 	s.stats.FinalEff = s.bestEff
 	s.stats.Truncated = s.canceled()
 	s.stats.Duration = time.Since(s.started)
+	s.emitProgress(s.stats.FinalEff, true)
 	if err := orgSane(s.org); err != nil {
 		return s.org, s.stats, err
 	}
@@ -712,6 +798,16 @@ func OptimizeRestartsContext(ctx context.Context, build func() (*Org, error), cf
 		}
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(r)*104729
+		if cfg.Progress != nil {
+			// Stamp each restart's events with its index so a consumer
+			// interleaving them (NDJSON, gauges) can tell the searches
+			// apart.
+			restart, base := r, cfg.Progress
+			runCfg.Progress = func(p ProgressEvent) {
+				p.Restart = restart
+				base(p)
+			}
+		}
 		if cfg.Checkpoint != nil && cfg.Checkpoint.Path != "" && restarts > 1 {
 			ck := *cfg.Checkpoint
 			ck.Path = RestartCheckpointPath(cfg.Checkpoint.Path, r)

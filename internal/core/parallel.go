@@ -38,11 +38,14 @@ func parallelFor(n, workers int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	metricParallelRuns.Inc()
 	if workers <= 1 {
+		metricParallelSerial.Inc()
 		fn(0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	metricParallelForks.Add(uint64((n + chunk - 1) / chunk))
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink serializes structured events to a writer as NDJSON: one JSON
+// object per line, goroutine-safe, in emission order. It is the
+// transport behind `lakenav organize -progress`: producers on multiple
+// goroutines (parallel dimension builds) funnel through one mutex so
+// lines never interleave.
+//
+// A write error latches: subsequent Emit calls become no-ops and Err
+// reports the first failure. Progress streams are advisory — a full
+// disk must not be able to kill the build mid-search — so producers
+// check Err once at the end rather than per event.
+type Sink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewSink returns a sink writing NDJSON to w.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{enc: json.NewEncoder(w)}
+}
+
+// Emit appends one event as a JSON line. After a write error it does
+// nothing.
+func (s *Sink) Emit(event any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	// json.Encoder.Encode terminates each value with '\n' — exactly the
+	// NDJSON framing.
+	s.err = s.enc.Encode(event)
+}
+
+// Err returns the first write error, or nil.
+func (s *Sink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -191,6 +191,58 @@ type Config struct {
 	// ignored and the dimension rebuilds from scratch — resuming can
 	// speed a restart up but never fail it.
 	Resume bool
+	// Progress, when non-nil, receives one event per optimizer
+	// iteration plus a closing event per search, letting callers watch
+	// a long build converge live (the CLI streams these as NDJSON via
+	// -progress; navserver exports them as /metrics gauges). Dimensions
+	// build concurrently, so the callback must be goroutine-safe and
+	// fast. It is observation only — the built organization is
+	// bit-identical with or without it — and requires Optimize (no
+	// search, no events).
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one observation of a running construction search;
+// see the field docs on the internal core event it mirrors. The zero
+// Dim/Restart values mean the first dimension and first restart.
+type ProgressEvent struct {
+	// Dim and Restart identify which of the concurrent searches the
+	// event belongs to.
+	Dim     int `json:"dim"`
+	Restart int `json:"restart"`
+	// Iteration counts proposed operations; Accepted + Rejected always
+	// equals Iteration.
+	Iteration int `json:"iteration"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	// CurrentEff is the effectiveness of the organization the search
+	// walk currently stands on; BestEff the best seen so far.
+	CurrentEff float64 `json:"current_eff"`
+	BestEff    float64 `json:"best_eff"`
+	// ElapsedMS is wall-clock milliseconds since the search started.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Checkpoints counts snapshot writes so far.
+	Checkpoints int `json:"checkpoints"`
+	// Final marks the closing event of a search; Truncated on a final
+	// event reports an interrupted (best-so-far) result.
+	Final     bool `json:"final,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+func progressFromCore(p core.ProgressEvent) ProgressEvent {
+	return ProgressEvent{
+		Dim:         p.Dim,
+		Restart:     p.Restart,
+		Iteration:   p.Iteration,
+		Accepted:    p.Accepted,
+		Rejected:    p.Rejected,
+		CurrentEff:  p.CurrentEff,
+		BestEff:     p.BestEff,
+		ElapsedMS:   p.ElapsedMS,
+		Checkpoints: p.Checkpoints,
+		Final:       p.Final,
+		Truncated:   p.Truncated,
+	}
 }
 
 // DefaultConfig returns a single optimized dimension with the paper's
@@ -232,6 +284,10 @@ func OrganizeContext(ctx context.Context, l *Lake, cfg Config) (*Organization, e
 			MaxIterations: cfg.MaxIterations,
 			Seed:          cfg.Seed,
 			Workers:       cfg.Workers,
+		}
+		if cfg.Progress != nil {
+			progress := cfg.Progress
+			opt.Progress = func(p core.ProgressEvent) { progress(progressFromCore(p)) }
 		}
 	}
 	mc := core.MultiDimConfig{

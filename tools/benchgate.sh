@@ -1,0 +1,44 @@
+#!/bin/sh
+# benchgate.sh — regression gate over a tools/bench.sh JSON snapshot.
+# Asserts the kernel speedup ratios stayed above 1.0, i.e. the
+# similarity kernel and the kernelized evaluator are still faster than
+# their pre-kernel naive baselines. Only the two *_vs_naive ratios are
+# gated: the parallel-vs-serial ratios legitimately dip below 1.0 on
+# the 2-core runners CI hands out, so gating them would make the job
+# flaky by construction.
+#
+# Usage: benchgate.sh [BENCH.json]   (default BENCH_pr2.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+IN=${1:-BENCH_pr2.json}
+if [ ! -f "$IN" ]; then
+	echo "benchgate: FAIL: $IN not found — run tools/bench.sh first" >&2
+	exit 1
+fi
+
+awk -v in_file="$IN" '
+/"(child_transitions_kernel_vs_naive|reevaluate_kernel_parallel_vs_naive)":/ {
+	key = $1
+	gsub(/[":,]/, "", key)
+	val = $2
+	gsub(/,/, "", val)
+	gated++
+	if (val + 0 > 1.0) {
+		printf("benchgate: OK   %s = %s\n", key, val)
+	} else {
+		printf("benchgate: FAIL %s = %s (want > 1.0)\n", key, val)
+		failed++
+	}
+}
+END {
+	if (gated != 2) {
+		printf("benchgate: FAIL expected 2 gated ratios in %s, found %d — did tools/bench.sh change its keys?\n", in_file, gated)
+		exit 1
+	}
+	if (failed > 0) exit 1
+}
+' "$IN"
+
+echo "benchgate: OK ($IN)"

@@ -1,23 +1,40 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gate: build, vet, and
 # the complete test suite under the race detector. CI and pre-commit
-# hooks call this; `make verify` is the friendly entry point.
+# hooks call this; `make verify` is the friendly entry point. Each
+# stage reports its elapsed wall-clock so a slow CI run points at the
+# stage that grew, not at the script.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
-go build ./...
+if ! command -v go >/dev/null 2>&1; then
+	echo "verify: FAIL: 'go' not found on PATH — install the Go toolchain" \
+		"(https://go.dev/dl/) or add it to PATH" >&2
+	exit 1
+fi
 
-echo "==> go vet ./..."
-go vet ./...
+# stage <label> <cmd...> — run one verification stage, timing it.
+stage() {
+	label=$1
+	shift
+	echo "==> $label"
+	start=$(date +%s)
+	"$@"
+	echo "    ($label: $(($(date +%s) - start))s)"
+}
 
-echo "==> go test -race ./..."
-go test -race ./...
+total_start=$(date +%s)
+
+stage "go build ./..." go build ./...
+stage "go vet ./..." go vet ./...
+stage "go test -race ./..." go test -race ./...
 
 # Benchmarks compile and run: one iteration of everything keeps the
 # bench harness (and tools/bench.sh's parse targets) from bit-rotting.
-echo "==> go test -run '^\$' -bench . -benchtime=1x ./..."
-go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+bench_once() {
+	go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+}
+stage "go test -run '^\$' -bench . -benchtime=1x ./..." bench_once
 
-echo "verify: OK"
+echo "verify: OK ($(($(date +%s) - total_start))s)"
