@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench benchgate fmt-check ci clean
+.PHONY: build test race vet verify bench benchgate fmt-check lint ci clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 benchgate:
 	sh tools/benchgate.sh
 
+# Invariant analyzer (cmd/lakelint): enforces the determinism, caching,
+# and context contracts documented in DESIGN.md §10 over every package.
+# CI passes LAKELINT_FLAGS="-json lakelint.json" to keep an artifact.
+lint:
+	$(GO) run ./cmd/lakelint $(LAKELINT_FLAGS) .
+
 # Fail if any file needs gofmt — same check the CI lint job runs.
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -41,7 +47,7 @@ fmt-check:
 # Everything .github/workflows/ci.yml runs, locally: the full verify
 # gate, the lint checks, and the bench-regression smoke at reduced
 # benchtime.
-ci: fmt-check verify
+ci: fmt-check lint verify
 	BENCHTIME=50ms sh tools/bench.sh BENCH_ci.json
 	sh tools/benchgate.sh BENCH_ci.json
 

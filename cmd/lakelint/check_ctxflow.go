@@ -1,0 +1,147 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxflow enforces the Context-first API surface introduced in PR 1:
+// every cancellable operation lives in a *Context function, and the
+// convenience twin without the suffix (Organize → OrganizeContext,
+// Optimize → OptimizeContext, …) must be a thin delegation — one call
+// to the twin with context.Background() as its context, and no other
+// module-internal calls, so behaviour can never fork between the two
+// entry points. Outside those delegating twins, context.Background()
+// and context.TODO() are banned in library code (package main and test
+// files are exempt): a library function that needs a context must
+// accept one.
+var ctxflowCheck = &Check{
+	Name: "ctxflow",
+	Doc:  "non-Context twins thinly delegate; context.Background banned elsewhere in library code",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if p.Name == "main" {
+			continue
+		}
+		// Top-level functions by name, for twin discovery.
+		funcs := make(map[string]*ast.FuncDecl)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+					funcs[fd.Name.Name] = fd
+				}
+			}
+		}
+
+		isDelegator := func(fd *ast.FuncDecl) bool {
+			return fd != nil && fd.Recv == nil && funcs[fd.Name.Name+"Context"] != nil &&
+				!strings.HasSuffix(fd.Name.Name, "Context")
+		}
+
+		// Twin-delegation structure.
+		for name, fd := range funcs {
+			twin := funcs[name+"Context"]
+			if twin == nil || strings.HasSuffix(name, "Context") || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkDelegation(m, p, fd, twin)...)
+		}
+
+		// Background/TODO ban.
+		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+			if isDelegator(fd) {
+				return // the delegation call is the one sanctioned use
+			}
+			where := "package-level declaration"
+			if fd != nil {
+				where = funcKey(fd)
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := contextConstructor(p, call); ok {
+					out = append(out, finding(m, call.Pos(), "ctxflow",
+						"context.%s() in %s: library code must accept a ctx parameter (Background is reserved for thin non-Context delegating twins)", name, where))
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// checkDelegation verifies that fd is a thin delegation to twin.
+func checkDelegation(m *Module, p *Package, fd, twin *ast.FuncDecl) []Finding {
+	twinObj := p.Info.Defs[twin.Name]
+	var twinCalls []*ast.CallExpr
+	var stray []ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(p, call)
+		if obj == nil {
+			return true
+		}
+		if obj == twinObj {
+			twinCalls = append(twinCalls, call)
+			return true
+		}
+		// Any other call into the module means the twin does real work
+		// of its own; stdlib calls (guards via fmt.Errorf, context
+		// construction) are tolerated.
+		if pkg := obj.Pkg(); pkg != nil &&
+			(pkg.Path() == m.Path || strings.HasPrefix(pkg.Path(), m.Path+"/")) {
+			stray = append(stray, call.Fun)
+		}
+		return true
+	})
+
+	var out []Finding
+	switch {
+	case len(twinCalls) == 0:
+		out = append(out, finding(m, fd.Pos(), "ctxflow",
+			"%s has a %s twin but never calls it; the non-Context form must delegate so the two entry points cannot diverge", fd.Name.Name, twin.Name.Name))
+	case len(twinCalls) > 1:
+		out = append(out, finding(m, fd.Pos(), "ctxflow",
+			"%s calls %s %d times; a thin delegation calls its twin exactly once", fd.Name.Name, twin.Name.Name, len(twinCalls)))
+	default:
+		call := twinCalls[0]
+		ok := false
+		if len(call.Args) > 0 {
+			if argCall, isCall := ast.Unparen(call.Args[0]).(*ast.CallExpr); isCall {
+				_, ok = contextConstructor(p, argCall)
+			}
+		}
+		if !ok {
+			out = append(out, finding(m, call.Pos(), "ctxflow",
+				"%s must pass context.Background() as the first argument of its %s delegation", fd.Name.Name, twin.Name.Name))
+		}
+	}
+	for _, e := range stray {
+		out = append(out, finding(m, e.Pos(), "ctxflow",
+			"%s does module work (%s) besides delegating to %s; move the logic into the Context twin", fd.Name.Name, exprString(m, e), twin.Name.Name))
+	}
+	return out
+}
+
+// contextConstructor reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func contextConstructor(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	qual, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pkgNameOf(p, qual) != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop enforces the PR 1 error posture (panics→errors, latched
+// errors): an error-returning call used as a bare statement silently
+// discards the error. Deliberate discards write `_ = f()` — visible,
+// greppable intent — so plain expression statements are the only form
+// flagged. defer/go statements are exempt (the `defer f.Close()` idiom
+// on read paths), as are test files (excluded from the load) and the
+// fmt print family, whose error returns on process streams are
+// conventionally ignored.
+var errdropCheck = &Check{
+	Name: "errdrop",
+	Doc:  "error returns must be handled or explicitly discarded with _ =",
+	Run:  runErrdrop,
+}
+
+// errdropExemptPkgs are callee packages whose error returns are
+// conventionally ignored.
+var errdropExemptPkgs = map[string]bool{"fmt": true}
+
+func runErrdrop(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+			where := "package-level declaration"
+			if fd != nil {
+				where = funcKey(fd)
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !callReturnsError(p, call) {
+					return true
+				}
+				if obj := calleeObject(p, call); obj != nil && obj.Pkg() != nil &&
+					errdropExemptPkgs[obj.Pkg().Path()] {
+					return true
+				}
+				out = append(out, finding(m, stmt.Pos(), "errdrop",
+					"%s discards the error from %s; handle it or write `_ = %s` to discard deliberately",
+					where, exprString(m, call.Fun), exprString(m, call.Fun)))
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// callReturnsError reports whether any result of call is an error.
+func callReturnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == types.Universe.Lookup("error")
+}

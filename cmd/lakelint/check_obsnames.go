@@ -1,0 +1,103 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// obsnames enforces the metric-name scheme of internal/obs: every
+// string literal passed as the name of a Registry constructor
+// (Counter, Gauge, FloatGauge, Histogram) must be dotted lower-case —
+// ^[a-z]+(\.[a-z_]+)+$ — and unique across the module, so the JSON
+// export (/metrics, NDJSON sinks) keeps one flat, collision-free,
+// grep-stable namespace. Computed names (prefix + variable) are
+// outside the check's reach and rely on review.
+var obsnamesCheck = &Check{
+	Name: "obsnames",
+	Doc:  "obs metric-name literals match ^[a-z]+(\\.[a-z_]+)+$ and are unique module-wide",
+	Run:  runObsnames,
+}
+
+// obsNamePattern is the canonical metric-name shape: a lower-case
+// subsystem segment, then one or more dotted lower-case segments that
+// may use underscores (unit and _total suffixes).
+var obsNamePattern = regexp.MustCompile(`^[a-z]+(\.[a-z_]+)+$`)
+
+// obsConstructors are the Registry methods that register a name.
+var obsConstructors = map[string]bool{
+	"Counter": true, "Gauge": true, "FloatGauge": true, "Histogram": true,
+}
+
+func runObsnames(m *Module) []Finding {
+	var out []Finding
+	type site struct {
+		pos  token.Pos
+		file string
+		line int
+	}
+	first := make(map[string]site)
+	var names []string
+
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !obsConstructors[sel.Sel.Name] || !isObsRegistry(p, sel) {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true // computed name; out of static reach
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !obsNamePattern.MatchString(name) {
+					out = append(out, finding(m, lit.Pos(), "obsnames",
+						"metric name %q does not match ^[a-z]+(\\.[a-z_]+)+$ (dotted lower-case, e.g. \"core.evaluator.builds_total\")", name))
+				}
+				if prev, dup := first[name]; dup {
+					out = append(out, finding(m, lit.Pos(), "obsnames",
+						"metric name %q already registered at %s:%d; names must be unique across the module", name, prev.file, prev.line))
+				} else {
+					pos := m.Fset.Position(lit.Pos())
+					first[name] = site{pos: lit.Pos(), file: pos.Filename, line: pos.Line}
+					names = append(names, name)
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(names) // deterministic iteration kept for future cross-name rules
+	return out
+}
+
+// isObsRegistry reports whether sel selects a method on the obs
+// Registry type (matched by package-path suffix so fixtures can
+// replicate the package).
+func isObsRegistry(p *Package, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

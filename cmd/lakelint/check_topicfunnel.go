@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// topicfunnel enforces the similarity-kernel cache contract
+// (organization.go): State.topic and State.topicNorm are written only
+// by the setTopic funnel, so the cached norm can never go stale. Any
+// other assignment, increment, composite-literal initialization, or
+// address-taking of those fields — anywhere in internal/core — is a
+// violation. Validate is additionally allowed, as the function that
+// re-derives and checks the pair.
+var topicfunnelCheck = &Check{
+	Name: "topicfunnel",
+	Doc:  "State.topic/topicNorm written only through the setTopic funnel",
+	Run:  runTopicfunnel,
+}
+
+// topicFields are the cache pair the funnel protects.
+var topicFields = map[string]bool{"topic": true, "topicNorm": true}
+
+// topicfunnelAllowed are the functions permitted to touch the fields.
+var topicfunnelAllowed = map[string]bool{
+	"State.setTopic": true,
+	"Org.Validate":   true,
+}
+
+func runTopicfunnel(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if !isCorePackage(p) {
+			continue
+		}
+		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+			if fd != nil && topicfunnelAllowed[funcKey(fd)] {
+				return
+			}
+			where := "package-level declaration"
+			if fd != nil {
+				where = funcKey(fd)
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if name, ok := stateTopicField(p, lhs); ok {
+							out = append(out, finding(m, lhs.Pos(), "topicfunnel",
+								"State.%s assigned in %s; all topic writes must go through setTopic so the cached norm stays consistent", name, where))
+						}
+					}
+				case *ast.IncDecStmt:
+					if name, ok := stateTopicField(p, st.X); ok {
+						out = append(out, finding(m, st.Pos(), "topicfunnel",
+							"State.%s modified in %s; all topic writes must go through setTopic", name, where))
+					}
+				case *ast.UnaryExpr:
+					if st.Op.String() == "&" {
+						if name, ok := stateTopicField(p, st.X); ok {
+							out = append(out, finding(m, st.Pos(), "topicfunnel",
+								"address of State.%s taken in %s; a retained pointer would bypass the setTopic funnel", name, where))
+						}
+					}
+				case *ast.CompositeLit:
+					if !isStateLiteral(p, st) {
+						return true
+					}
+					for _, el := range st.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && topicFields[key.Name] {
+							out = append(out, finding(m, kv.Pos(), "topicfunnel",
+								"State literal initializes %s in %s; construct the state and call setTopic instead", key.Name, where))
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// stateTopicField reports whether expr selects the topic or topicNorm
+// field of core.State, returning the field name.
+func stateTopicField(p *Package, expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || !topicFields[sel.Sel.Name] {
+		return "", false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if named, ok := s.Recv().(*types.Named); ok && named.Obj().Name() == "State" {
+		return sel.Sel.Name, true
+	}
+	if ptr, ok := s.Recv().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "State" {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isStateLiteral reports whether lit constructs a core.State value.
+func isStateLiteral(p *Package, lit *ast.CompositeLit) bool {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "State"
+}

@@ -1,0 +1,180 @@
+// Command lakelint is the repository's invariant analyzer: a pure-
+// stdlib static-analysis pass (go/ast + go/parser + go/types, no
+// x/tools) that mechanically enforces the contracts the rest of the
+// codebase documents in comments — the setTopic cache funnel, the
+// serializable-RNG determinism rule, the Context-first API surface,
+// the no-dropped-errors posture, and the obs metric-name scheme.
+// `make lint` runs it over the whole module; CI gates merges on it.
+// DESIGN.md §10 lists each check, the contract it pins, and how to
+// extend the suite.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	// File is the offending file, relative to the module root.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Check names the invariant check that fired.
+	Check string `json:"check"`
+	// Msg describes the violation and how to fix it.
+	Msg string `json:"message"`
+}
+
+// String renders the finding in the canonical file:line: [check] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Msg)
+}
+
+// Check is one invariant analyzer.
+type Check struct {
+	// Name is the identifier used in findings and the -checks flag.
+	Name string
+	// Doc is the one-line contract description shown by -list.
+	Doc string
+	// Run analyzes the module and returns its findings (unsorted).
+	Run func(m *Module) []Finding
+}
+
+// AllChecks is the invariant suite, in documentation order.
+var AllChecks = []*Check{
+	topicfunnelCheck,
+	detrandCheck,
+	ctxflowCheck,
+	errdropCheck,
+	obsnamesCheck,
+}
+
+// RunChecks runs the named checks (nil = all) over a loaded module and
+// returns the merged findings sorted by position then check name.
+func RunChecks(m *Module, names []string) ([]Finding, error) {
+	enabled := AllChecks
+	if names != nil {
+		byName := make(map[string]*Check, len(AllChecks))
+		for _, c := range AllChecks {
+			byName[c.Name] = c
+		}
+		enabled = nil
+		for _, n := range names {
+			c, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("lakelint: unknown check %q", n)
+			}
+			enabled = append(enabled, c)
+		}
+	}
+	var out []Finding
+	for _, c := range enabled {
+		out = append(out, c.Run(m)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out, nil
+}
+
+// finding books one violation at pos.
+func finding(m *Module, pos token.Pos, check, format string, args ...any) Finding {
+	p := m.Fset.Position(pos)
+	return Finding{
+		File:  p.Filename,
+		Line:  p.Line,
+		Col:   p.Column,
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// isCorePackage reports whether pkg is the determinism-critical core
+// package (matched by path suffix so fixture trees can replicate it).
+func isCorePackage(p *Package) bool {
+	return p.Path == "internal/core" || strings.HasSuffix(p.Path, "/internal/core")
+}
+
+// funcKey names a declared function the way allowlists refer to it:
+// "Name" for functions, "Recv.Name" for methods (pointer stripped).
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// pkgNameOf resolves an identifier to the import path of the package
+// it names, or "" when the identifier is not a package qualifier.
+func pkgNameOf(p *Package, id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// calleeObject resolves the function or method object a call invokes,
+// or nil for calls through function values, conversions, and builtins.
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// exprString renders a (small) expression for a finding message.
+func exprString(m *Module, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, m.Fset, e); err != nil {
+		return "expression"
+	}
+	return sb.String()
+}
+
+// eachFuncBody walks every function declaration of a package, giving
+// the callback the declaring file, the declaration, and its allowlist
+// key. Package-level variable initializers are visited with fd == nil.
+func eachFuncBody(p *Package, fn func(filename string, fd *ast.FuncDecl, node ast.Node)) {
+	for i, f := range p.Files {
+		name := p.Filenames[i]
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(name, d, d.Body)
+				}
+			case *ast.GenDecl:
+				fn(name, nil, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	gobuild "go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test package of the module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package directory relative to the module root.
+	Dir string
+	// Name is the package name ("main" for commands).
+	Name string
+	// Files and Filenames are the parsed non-test sources, parallel
+	// slices in lexical filename order. Filenames are relative to the
+	// module root, which is also how positions render in findings.
+	Files     []*ast.File
+	Filenames []string
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded module: every non-test package, type-checked
+// against real stdlib and module types.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the absolute module root.
+	Dir string
+	// Fset is the shared position table.
+	Fset *token.FileSet
+	// Pkgs is every loaded package in import-path order.
+	Pkgs []*Package
+}
+
+// LoadModule parses and type-checks every non-test package under dir
+// (which must contain go.mod). It is a stdlib-only substitute for
+// x/tools' packages.Load: module-internal imports resolve against the
+// packages loaded here, and everything else (the stdlib) resolves
+// through go/importer's source importer, which type-checks $GOROOT
+// sources directly — no compiled export data, no `go list` subprocess.
+//
+// Test files (_test.go) are excluded: every lakelint check exempts
+// them, and excluding them up front keeps external test packages and
+// test-only imports out of the load graph.
+func LoadModule(dir string) (*Module, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(absDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer consults go/build's default context. Stdlib
+	// cgo packages (net, os/user) cannot be type-checked from source
+	// with cgo enabled — their Go sources reference cgo-generated
+	// identifiers — so force the pure-Go variants, which exist for
+	// every stdlib package.
+	gobuild.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	pkgs, err := parseModule(fset, absDir, modPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := typecheckModule(fset, modPath, pkgs); err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return &Module{Path: modPath, Dir: absDir, Fset: fset, Pkgs: pkgs}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lakelint: %w (run from the module root or pass its directory)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lakelint: no module directive in %s", gomod)
+}
+
+// parseModule walks the module tree and parses every non-test package.
+func parseModule(fset *token.FileSet, root, modPath string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(fset, root, modPath, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// parseDir parses the non-test .go files of one directory, returning
+// nil when the directory holds no Go sources.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: importPath, Dir: rel}
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		relName := fn
+		if rel != "." {
+			relName = filepath.ToSlash(rel) + "/" + fn
+		}
+		src, err := os.ReadFile(filepath.Join(dir, fn))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, relName, src, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lakelint: parse: %w", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("lakelint: %s: packages %q and %q in one directory",
+				rel, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, relName)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// type-checked so far and delegates everything else to the stdlib
+// source importer.
+type moduleImporter struct {
+	modPath string
+	done    map[string]*types.Package
+	std     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.done[path]; ok {
+		return p, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		return nil, fmt.Errorf("lakelint: import cycle or missing module package %q", path)
+	}
+	return m.std.Import(path)
+}
+
+// typecheckModule type-checks the packages in dependency order.
+func typecheckModule(fset *token.FileSet, modPath string, pkgs []*Package) error {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	imp := &moduleImporter{
+		modPath: modPath,
+		done:    make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+
+	// Depth-first over module-internal imports; visiting==true marks a
+	// package on the current path, so revisiting it is a cycle.
+	visiting := make(map[string]bool)
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		if _, ok := imp.done[p.Path]; ok {
+			return nil
+		}
+		if visiting[p.Path] {
+			return fmt.Errorf("lakelint: import cycle through %s", p.Path)
+		}
+		visiting[p.Path] = true
+		defer delete(visiting, p.Path)
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if dep, ok := byPath[ip]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+		if err != nil {
+			return fmt.Errorf("lakelint: typecheck %s: %w", p.Path, err)
+		}
+		p.Types, p.Info = tpkg, info
+		imp.done[p.Path] = tpkg
+		return nil
+	}
+	// Deterministic visit order.
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(byPath[path]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

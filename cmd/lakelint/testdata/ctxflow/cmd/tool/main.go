@@ -1,0 +1,16 @@
+// Commands are exempt from the Background ban: main is where a context
+// tree legitimately starts.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"ctxfix/lib"
+)
+
+func main() {
+	ctx := context.Background()
+	n, err := lib.WorkContext(ctx, 1)
+	fmt.Println(n, err)
+}

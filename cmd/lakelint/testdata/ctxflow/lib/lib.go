@@ -1,0 +1,61 @@
+// Fixture for the ctxflow check: thin non-Context delegation twins
+// (good and bad), and stray context.Background in library code.
+package lib
+
+import (
+	"context"
+	"fmt"
+)
+
+func helper(n int) int { return n + 1 }
+
+// WorkContext / Work: the sanctioned pattern — guard, then one
+// delegation call with context.Background().
+func WorkContext(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func Work(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("lib: negative n %d", n)
+	}
+	return WorkContext(context.Background(), n)
+}
+
+// BuildContext / Build: bad — does module work of its own before
+// delegating, so the entry points can diverge.
+func BuildContext(ctx context.Context, n int) (int, error) {
+	return n, ctx.Err()
+}
+
+func Build(n int) (int, error) {
+	n = helper(n) // want ctxflow "module work"
+	return BuildContext(context.Background(), n)
+}
+
+// RunContext / Run: bad — the non-Context twin never delegates.
+func RunContext(ctx context.Context) error { return ctx.Err() }
+
+func Run() error { // want ctxflow "never calls it"
+	return nil
+}
+
+// FetchContext / Fetch: bad — delegates without context.Background().
+func FetchContext(ctx context.Context) error { return ctx.Err() }
+
+func Fetch() error {
+	return FetchContext(nil) // want ctxflow "must pass context.Background"
+}
+
+// stray uses Background outside any delegating twin.
+func stray() error {
+	ctx := context.Background() // want ctxflow "context.Background"
+	return RunContext(ctx)
+}
+
+func strayTODO() error {
+	return FetchContext(context.TODO()) // want ctxflow "context.TODO"
+}

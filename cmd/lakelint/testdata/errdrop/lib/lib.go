@@ -1,0 +1,36 @@
+// Fixture for the errdrop check: bare statements that silently drop
+// error returns, next to every sanctioned form (explicit _ =, defer,
+// go, fmt printing, error-free calls).
+package lib
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func clean() int { return 1 }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func drop() {
+	fail()         // want errdrop "discards the error from fail"
+	pair()         // want errdrop "discards the error from pair"
+	os.Remove("x") // want errdrop "discards the error from os.Remove"
+}
+
+func sanctioned() {
+	_ = fail()
+	_, _ = pair()
+	clean()
+	fmt.Println("process streams: fmt family exempt")
+	var c conn
+	defer c.Close()
+	go func() { _ = fail() }()
+}

@@ -1,0 +1,26 @@
+// Fixture replica of the real internal/obs Registry surface: the
+// obsnames check matches constructors by receiver type Registry in a
+// package whose path ends in internal/obs, so this stub stands in for
+// the real one.
+package obs
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type FloatGauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) FloatGauge(name string) *FloatGauge { return &FloatGauge{} }
+
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+
+// Default mirrors the process-wide registry.
+var Default = &Registry{}

@@ -1,0 +1,23 @@
+// Fixture for the obsnames check: metric-name shape and module-wide
+// uniqueness over the obs constructor surface.
+package lib
+
+import "obsfix/internal/obs"
+
+var routeSuffix = "node"
+
+var (
+	good    = obs.Default.Counter("core.thing.ops_total")
+	alsoOK  = obs.Default.Histogram("core.thing.latency_seconds", []float64{1})
+	badCase = obs.Default.Gauge("HTTP.Requests")   // want obsnames "does not match"
+	noDot   = obs.Default.Counter("plainname")     // want obsnames "does not match"
+	badTail = obs.Default.Gauge("core.x.Bad_Tail") // want obsnames "does not match"
+)
+
+func more(reg *obs.Registry) {
+	// Same name, different constructor and registry expression: still a
+	// module-wide duplicate.
+	_ = reg.FloatGauge("core.thing.ops_total") // want obsnames "already registered"
+	// Computed names are outside the literal check's reach.
+	_ = reg.Counter("core.prefix." + routeSuffix)
+}

@@ -1,0 +1,3 @@
+module topicfix
+
+go 1.22

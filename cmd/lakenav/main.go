@@ -71,7 +71,7 @@ func cmdGen(args []string) error {
 	out := fs.String("out", "lake.json", "output path")
 	quick := fs.Bool("quick", false, "generate a reduced instance")
 	seed := fs.Int64("seed", 1, "generation seed")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 
 	var save func(path string) error
 	switch *kind {
@@ -121,7 +121,7 @@ func loadLake(path string) (*lakenav.Lake, error) {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	path := fs.String("lake", "", "lake JSON path")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	l, err := loadLake(*path)
 	if err != nil {
 		return err
@@ -144,7 +144,7 @@ func cmdOrganize(args []string) error {
 	workers := fs.Int("workers", 0, "evaluator goroutine pool size; 0 uses all CPUs (results are identical for any value)")
 	restarts := fs.Int("restarts", 1, "independent searches per dimension, keeping the most effective (restart r appends .r<r> to checkpoint files)")
 	progress := fs.String("progress", "", "stream optimizer progress to this file as NDJSON, one event per iteration")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	l, err := loadLake(*path)
 	if err != nil {
 		return err
@@ -218,7 +218,7 @@ func cmdSearch(args []string) error {
 	path := fs.String("lake", "", "lake JSON path")
 	query := fs.String("q", "", "keyword query")
 	k := fs.Int("k", 10, "results to return")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	if *query == "" {
 		return fmt.Errorf("missing -q")
 	}
@@ -244,7 +244,7 @@ func cmdWalk(args []string) error {
 	query := fs.String("q", "", "intent query")
 	dims := fs.Int("dims", 1, "organization dimensions")
 	seed := fs.Int64("seed", 0, "walk seed (0 = greedy)")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	if *query == "" {
 		return fmt.Errorf("missing -q")
 	}

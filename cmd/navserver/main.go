@@ -192,7 +192,7 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("navserver: shutdown: %v", err)
-		srv.Close()
+		_ = srv.Close() // drain timed out; force-close, nothing left to report
 	}
 	log.Print("bye")
 }

@@ -25,8 +25,10 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	tmpName := tmp.Name()
 	defer func() {
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
+			// Already failing; the close/remove errors would only mask
+			// the root cause.
+			_ = tmp.Close()
+			_ = os.Remove(tmpName)
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -46,8 +48,8 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 		return fmt.Errorf("atomicio: rename %s: %w", path, err)
 	}
 	if d, derr := os.Open(dir); derr == nil {
-		d.Sync() // best-effort: the rename itself is already atomic
-		d.Close()
+		_ = d.Sync() // best-effort: the rename itself is already atomic
+		_ = d.Close()
 	}
 	return nil
 }

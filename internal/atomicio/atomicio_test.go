@@ -1,11 +1,14 @@
 package atomicio
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lakenav/internal/faultinject"
 )
 
 func TestWriteFileBasic(t *testing.T) {
@@ -85,5 +88,98 @@ func TestWriteFileBadDir(t *testing.T) {
 	err := WriteFile("/nonexistent-dir/x/out.txt", func(w io.Writer) error { return nil })
 	if err == nil {
 		t.Error("bad directory accepted")
+	}
+}
+
+// A disk that fills mid-write (ENOSPC through the os.File) must not
+// leave a partial checkpoint visible: the old file survives intact and
+// the half-written temp file is cleaned up.
+func TestWriteFileDiskFullPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ck")
+	const old = `{"version":1,"iterations":40}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		full := &faultinject.FailingWriter{W: w, N: 8}
+		_, werr := io.WriteString(full, `{"version":1,"iterations":95,"current":{"states":[`)
+		return werr
+	})
+	if err == nil {
+		t.Fatal("disk-full write reported success")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != old {
+		t.Errorf("old checkpoint clobbered by failed write: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		for _, e := range entries {
+			t.Logf("leftover: %s", e.Name())
+		}
+		t.Errorf("%d entries after disk-full write, want 1 (no temp leftovers)", len(entries))
+	}
+}
+
+// A failed rename — here forced by the destination being a non-empty
+// directory — must also clean up the temp file and leave the
+// destination untouched.
+func TestWriteFileRenameErrorCleansUp(t *testing.T) {
+	parent := t.TempDir()
+	dest := filepath.Join(parent, "search.ck")
+	if err := os.MkdirAll(filepath.Join(dest, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(dest, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "new content")
+		return werr
+	})
+	if err == nil {
+		t.Fatal("rename onto a non-empty directory reported success")
+	}
+	info, serr := os.Stat(dest)
+	if serr != nil || !info.IsDir() {
+		t.Fatalf("destination no longer the original directory: %v %v", info, serr)
+	}
+	if _, serr := os.Stat(filepath.Join(dest, "occupied")); serr != nil {
+		t.Errorf("destination contents disturbed: %v", serr)
+	}
+	entries, rerr := os.ReadDir(parent)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		for _, e := range entries {
+			t.Logf("leftover: %s", e.Name())
+		}
+		t.Errorf("%d entries after failed rename, want 1 (no temp leftovers)", len(entries))
+	}
+}
+
+// FailingWriter itself: honors the byte budget across multiple writes
+// and keeps failing once exhausted.
+func TestFailingWriterBudget(t *testing.T) {
+	var sink bytes.Buffer
+	fw := &faultinject.FailingWriter{W: &sink, N: 5}
+	n, err := fw.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (3, nil)", n, err)
+	}
+	n, err = fw.Write([]byte("defg"))
+	if n != 2 || err != io.ErrShortWrite {
+		t.Fatalf("overflowing write = (%d, %v), want (2, ErrShortWrite)", n, err)
+	}
+	if n, err = fw.Write([]byte("h")); n != 0 || err != io.ErrShortWrite {
+		t.Fatalf("post-exhaustion write = (%d, %v), want (0, ErrShortWrite)", n, err)
+	}
+	if sink.String() != "abcde" {
+		t.Errorf("sink holds %q, want %q", sink.String(), "abcde")
 	}
 }

@@ -35,7 +35,7 @@ func (axisModel) Lookup(word string) (vector.Vector, bool) {
 
 // testLake builds a small lake with four clean topics and one
 // cross-topic table.
-func testLake(t *testing.T) *lake.Lake {
+func testLake(t testing.TB) *lake.Lake {
 	t.Helper()
 	l := lake.New()
 	l.AddTable("fishlist", []string{"fishery"},

@@ -168,14 +168,26 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: load checkpoint: %w", err)
 	}
 	defer f.Close()
-	var ck Checkpoint
-	if err := json.NewDecoder(f).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("core: load checkpoint %s: %w", path, err)
-	}
-	if err := ck.validate(); err != nil {
+	ck, err := DecodeCheckpoint(f)
+	if err != nil {
 		return nil, fmt.Errorf("core: load checkpoint %s: %w", path, err)
 	}
 	ck.path = path
+	return ck, nil
+}
+
+// DecodeCheckpoint decodes and validates a checkpoint from a stream.
+// It accepts exactly what LoadCheckpoint accepts from a file, and never
+// returns a checkpoint that fails validate() — resumable state is
+// either structurally sound or rejected whole.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
 	return &ck, nil
 }
 

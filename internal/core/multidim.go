@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -130,7 +129,11 @@ func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig)
 	if k == 1 {
 		groups = [][]string{tags}
 	} else {
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		// The clustering draws from the same serializable xorshift64*
+		// source as the searches (rng.go): tag grouping is then a pure
+		// function of the seed, and no hidden-state generator exists
+		// anywhere on the construction path.
+		rng := newSearchRand(newSearchSource(cfg.Seed))
 		res, err := cluster.KMedoidsVectors(topics, k, rng, 100)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: tag clustering: %w", err)
@@ -215,10 +218,12 @@ func BuildMultiDimContext(ctx context.Context, l *lake.Lake, cfg MultiDimConfig)
 		}
 		if oc.Checkpoint != nil && oc.Checkpoint.Path != "" && !st.Truncated {
 			// The search converged; the checkpoints have served their
-			// purpose and must not seed a future unrelated build.
-			os.Remove(oc.Checkpoint.Path)
+			// purpose and must not seed a future unrelated build. A
+			// failed removal is harmless — resume validation rejects a
+			// stale file — so the errors are deliberately dropped.
+			_ = os.Remove(oc.Checkpoint.Path)
 			for r := 0; r < restarts; r++ {
-				os.Remove(RestartCheckpointPath(oc.Checkpoint.Path, r))
+				_ = os.Remove(RestartCheckpointPath(oc.Checkpoint.Path, r))
 			}
 		}
 		stats[i] = st

@@ -42,7 +42,7 @@ type Model interface {
 // wordSeed derives a stable 64-bit seed from a word and a model seed.
 func wordSeed(word string, seed int64) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(word))
+	_, _ = h.Write([]byte(word)) // hash.Hash.Write never fails
 	return int64(h.Sum64()) ^ seed
 }
 
@@ -91,8 +91,8 @@ func (h *Hashed) Lookup(word string) (vector.Vector, bool) {
 		// A second, independent hash decides coverage so that coverage
 		// does not correlate with vector direction.
 		u := fnv.New64()
-		u.Write([]byte(word))
-		u.Write([]byte{0xC0})
+		_, _ = u.Write([]byte(word)) // hash.Hash.Write never fails
+		_, _ = u.Write([]byte{0xC0})
 		frac := float64(u.Sum64()%1_000_000) / 1_000_000
 		if frac >= h.coverage {
 			return nil, false

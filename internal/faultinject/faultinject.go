@@ -121,3 +121,40 @@ func (f *FailingReader) err() error {
 	}
 	return io.ErrUnexpectedEOF
 }
+
+// FailingWriter accepts the first N bytes and then returns Err
+// (io.ErrShortWrite when nil) on every subsequent write, simulating a
+// disk that fills mid-write. The short write reports how many of the
+// offending call's bytes still fit, the way a real ENOSPC surfaces
+// through an os.File.
+type FailingWriter struct {
+	W       io.Writer
+	N       int64
+	Err     error
+	written int64
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.written >= f.N {
+		return 0, f.werr()
+	}
+	if max := f.N - f.written; int64(len(p)) > max {
+		n, err := f.W.Write(p[:max])
+		f.written += int64(n)
+		if err == nil {
+			err = f.werr()
+		}
+		return n, err
+	}
+	n, err := f.W.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+func (f *FailingWriter) werr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return io.ErrShortWrite
+}

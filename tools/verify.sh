@@ -28,7 +28,25 @@ total_start=$(date +%s)
 
 stage "go build ./..." go build ./...
 stage "go vet ./..." go vet ./...
+
+# Invariant checks (cmd/lakelint): the determinism, caching, and
+# context contracts DESIGN.md §10 documents, enforced mechanically.
+lakelint_run() {
+	go run ./cmd/lakelint .
+}
+stage "lakelint ." lakelint_run
+
 stage "go test -race ./..." go test -race ./...
+
+# Fuzz smoke: a few seconds of coverage-guided input on the two
+# decode surfaces that accept untrusted bytes (organization import,
+# checkpoint resume). -fuzzminimizetime is capped because the default
+# 60s-per-input minimization starves short windows on small machines.
+fuzz_smoke() {
+	go test ./internal/core -fuzz FuzzReadOrg -fuzztime 5s -fuzzminimizetime 10x -run '^$'
+	go test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 5s -fuzzminimizetime 10x -run '^$'
+}
+stage "go test -fuzz (5s smoke x2)" fuzz_smoke
 
 # Benchmarks compile and run: one iteration of everything keeps the
 # bench harness (and tools/bench.sh's parse targets) from bit-rotting.
