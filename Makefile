@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench benchgate fmt-check lint ci clean
+.PHONY: build test race vet verify bench benchgate bench-serve soak fmt-check lint ci clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ bench:
 benchgate:
 	sh tools/benchgate.sh
 
+# Serving fast-path snapshot: the internal/serve Zipf-workload
+# benchmarks, cached vs uncached, written to BENCH_pr5.json and gated
+# at >= 1.5x (tools/bench_serve.sh).
+bench-serve:
+	sh tools/bench_serve.sh
+
+# End-to-end serving soak: socrata lake -> race-built navserver ->
+# deterministic lakeload for SOAK_DURATION (default 10s); fails on any
+# non-shed non-2xx response or a detected race (tools/soak.sh).
+soak:
+	sh tools/soak.sh
+
 # Invariant analyzer (cmd/lakelint): enforces the determinism, caching,
 # and context contracts documented in DESIGN.md §10 over every package.
 # CI passes LAKELINT_FLAGS="-json lakelint.json" to keep an artifact.
@@ -45,11 +57,13 @@ fmt-check:
 	fi
 
 # Everything .github/workflows/ci.yml runs, locally: the full verify
-# gate, the lint checks, and the bench-regression smoke at reduced
-# benchtime.
+# gate, the lint checks, the bench-regression smokes at reduced
+# benchtime, and the serving soak.
 ci: fmt-check lint verify
 	BENCHTIME=50ms sh tools/bench.sh BENCH_ci.json
 	sh tools/benchgate.sh BENCH_ci.json
+	BENCHTIME=50ms sh tools/bench_serve.sh BENCH_serve_ci.json
+	SOAK_DURATION=10s sh tools/soak.sh soak-artifacts
 
 clean:
 	$(GO) clean ./...

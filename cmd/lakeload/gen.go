@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strings"
+
+	"lakenav/internal/stats"
+)
+
+// op is one scheduled request: a path (with encoded query parameters)
+// and, for batch endpoints, a JSON body.
+type op struct {
+	kind string // suggest | discover | search | batch_suggest | batch_search
+	path string
+	body string
+}
+
+// opGenConfig parameterizes the deterministic schedule.
+type opGenConfig struct {
+	// Seed drives every random choice; equal seeds produce equal
+	// schedules.
+	Seed int64
+	// Queries is the size of the synthetic query population.
+	Queries int
+	// ZipfS is the query-popularity exponent: queries are drawn
+	// Zipf(Queries, ZipfS), so a few queries dominate — the skew the
+	// server's topic cache exploits.
+	ZipfS float64
+	// K is the result bound sent with search and discover requests.
+	K int
+	// BatchSize is the number of queries packed into a batch request.
+	BatchSize int
+	// RootChildren bounds the one-step navigation paths; 0 keeps every
+	// suggest at the root.
+	RootChildren int
+	// NavReady gates navigation operations: when false the schedule is
+	// keyword search only (the organization is still building).
+	NavReady bool
+}
+
+// opGen derives per-worker deterministic operation streams. Worker
+// sub-streams are seeded independently (splitmix64 over seed and worker
+// index), so a schedule is reproducible for a given (seed, worker)
+// regardless of how many workers run or how they interleave.
+type opGen struct {
+	cfg     opGenConfig
+	queries []string
+	zipf    *stats.Zipf
+}
+
+func newOpGen(cfg opGenConfig) (*opGen, error) {
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("queries must be positive, got %d", cfg.Queries)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	z, err := stats.NewZipf(cfg.Queries, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	// The query population is synthesized from the seed: word pairs over
+	// a small vocabulary, embeddable by the lake's hashed model. Query i
+	// is fully determined by (seed, i).
+	queries := make([]string, cfg.Queries)
+	qrng := rand.New(newXorshift(splitmix(uint64(cfg.Seed))))
+	for i := range queries {
+		queries[i] = loadWords[qrng.Intn(len(loadWords))] + " " + loadWords[qrng.Intn(len(loadWords))]
+	}
+	return &opGen{cfg: cfg, queries: queries, zipf: z}, nil
+}
+
+// loadWords is the synthetic query vocabulary. The hashed embedding
+// model covers arbitrary tokens, so any word works; these read like
+// open-data exploration terms.
+var loadWords = []string{
+	"budget", "transit", "salmon", "harvest", "permits", "census",
+	"energy", "water", "schools", "crime", "housing", "traffic",
+	"parks", "revenue", "climate", "health", "elections", "zoning",
+	"bridges", "libraries", "wages", "tourism", "recycling", "noise",
+}
+
+// worker returns worker w's deterministic sub-stream.
+func (g *opGen) worker(w int) *opStream {
+	seed := splitmix(uint64(g.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(w) + 1)
+	return &opStream{g: g, rng: rand.New(newXorshift(seed))}
+}
+
+// opStream emits one worker's schedule.
+type opStream struct {
+	g   *opGen
+	rng *rand.Rand
+}
+
+// next derives the stream's next operation.
+func (s *opStream) next() op {
+	g := s.g
+	q := g.queries[g.zipf.Sample(s.rng)-1]
+	// Op mix: navigation-heavy when the organization is ready (the
+	// serving fast path under test), pure search otherwise.
+	if !g.cfg.NavReady {
+		return searchOp(q, g.cfg.K)
+	}
+	switch s.rng.Intn(10) {
+	case 0, 1, 2, 3: // 40% suggest
+		path := ""
+		if g.cfg.RootChildren > 0 && s.rng.Intn(2) == 0 {
+			path = fmt.Sprintf("%d", s.rng.Intn(g.cfg.RootChildren))
+		}
+		v := url.Values{"q": {q}}
+		if path != "" {
+			v.Set("path", path)
+		}
+		return op{kind: "suggest", path: "/api/suggest?" + v.Encode()}
+	case 4, 5, 6: // 30% discover
+		v := url.Values{"q": {q}, "k": {fmt.Sprintf("%d", g.cfg.K)}}
+		return op{kind: "discover", path: "/api/discover?" + v.Encode()}
+	case 7, 8: // 20% search
+		return searchOp(q, g.cfg.K)
+	default: // 10% batches, alternating kinds
+		if s.rng.Intn(2) == 0 {
+			return s.batchSuggest()
+		}
+		return s.batchSearch()
+	}
+}
+
+func searchOp(q string, k int) op {
+	v := url.Values{"q": {q}, "k": {fmt.Sprintf("%d", k)}}
+	return op{kind: "search", path: "/api/search?" + v.Encode()}
+}
+
+func (s *opStream) batchSuggest() op {
+	g := s.g
+	type item struct {
+		Dim  int    `json:"dim"`
+		Path string `json:"path,omitempty"`
+		Q    string `json:"q"`
+		K    int    `json:"k"`
+	}
+	items := make([]item, g.cfg.BatchSize)
+	for i := range items {
+		items[i] = item{Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
+		if g.cfg.RootChildren > 0 && s.rng.Intn(2) == 0 {
+			items[i].Path = fmt.Sprintf("%d", s.rng.Intn(g.cfg.RootChildren))
+		}
+	}
+	return op{kind: "batch_suggest", path: "/batch/suggest", body: batchBody(items)}
+}
+
+func (s *opStream) batchSearch() op {
+	g := s.g
+	type item struct {
+		Q string `json:"q"`
+		K int    `json:"k"`
+	}
+	items := make([]item, g.cfg.BatchSize)
+	for i := range items {
+		items[i] = item{Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
+	}
+	return op{kind: "batch_search", path: "/batch/search", body: batchBody(items)}
+}
+
+func batchBody[T any](items []T) string {
+	var b strings.Builder
+	_, _ = b.WriteString(`{"queries":`) // strings.Builder never errors
+	enc := json.NewEncoder(&b)
+	if err := enc.Encode(items); err != nil {
+		// Encoding []item of plain strings/ints cannot fail.
+		panic(err)
+	}
+	body := strings.TrimRight(b.String(), "\n") + "}"
+	return body
+}
+
+// xorshift is a xorshift64* rand.Source64: one word of state, fully
+// determined by its seed, matching the repo's reproducibility idiom
+// (the optimizer checkpoints the same generator family).
+type xorshift struct {
+	state uint64
+}
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // xorshift has a zero fixed point
+	}
+	return &xorshift{state: seed}
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (x *xorshift) Uint64() uint64 {
+	v := x.state
+	v ^= v >> 12
+	v ^= v << 25
+	v ^= v >> 27
+	x.state = v
+	return v * 0x2545f4914f6cdd1d
+}
+
+func (x *xorshift) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+func (x *xorshift) Seed(seed int64) { *x = *newXorshift(uint64(seed)) }

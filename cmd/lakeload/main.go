@@ -1,0 +1,433 @@
+// Command lakeload is a deterministic load generator for navserver: the
+// measurement harness behind the serving fast path's latency and soak
+// numbers.
+//
+//	lakeload -addr http://localhost:8080 [-mode closed|open]
+//	         [-workers 8] [-rate 100] [-duration 10s] [-seed 1]
+//	         [-zipf 1.1] [-queries 64] [-k 10] [-batch-size 16]
+//	         [-out requests.ndjson] [-wait-ready 30s] [-fail-on-error]
+//
+// The operation schedule — which endpoint, which query, which path,
+// which k — is derived entirely from -seed through a xorshift64*
+// generator and a Zipf query mix, so two runs against the same server
+// replay byte-identical request streams; only timing differs. The query
+// population is skewed (Zipf) the way interactive exploration is, which
+// is exactly the shape the server's query-topic cache exploits: runs
+// with and without -cache-size quantify the cache.
+//
+// Modes:
+//
+//	closed  -workers goroutines each issue requests back-to-back: the
+//	        classic closed loop, throughput set by service latency.
+//	open    requests are dispatched on a fixed -rate ticker regardless
+//	        of completions, the open-loop shape that exposes queueing
+//	        collapse; outstanding requests are capped, and requests the
+//	        cap forces the harness to skip are counted as dropped.
+//
+// Every request becomes one NDJSON record on -out (worker, operation,
+// status, latency, shed flag) and the run ends with a JSON summary on
+// stdout: counts by operation and status, shed and dropped totals,
+// latency quantiles, and achieved throughput. A 503 whose body is the
+// navserver's load-shedding response "overloaded" is counted as shed —
+// deliberate back-pressure, not failure; with -fail-on-error any other
+// non-2xx response fails the run, which is the CI soak gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "navserver base URL")
+	mode := flag.String("mode", "closed", "load shape: closed (worker loop) or open (rate ticker)")
+	workers := flag.Int("workers", 8, "concurrent workers (closed mode)")
+	rate := flag.Float64("rate", 100, "target requests per second (open mode)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	seed := flag.Int64("seed", 1, "schedule seed; same seed replays the same request stream")
+	zipfS := flag.Float64("zipf", 1.1, "query-popularity Zipf exponent")
+	queries := flag.Int("queries", 64, "distinct queries in the mix")
+	k := flag.Int("k", 10, "result bound sent with search/discover requests")
+	batchSize := flag.Int("batch-size", 16, "queries per /batch request")
+	out := flag.String("out", "", "write per-request NDJSON records to this file")
+	waitReady := flag.Duration("wait-ready", 30*time.Second, "wait up to this long for /readyz before starting (0 skips navigation ops)")
+	failOnError := flag.Bool("fail-on-error", false, "exit 1 on any non-2xx response that is not a deliberate shed 503")
+	maxOutstanding := flag.Int("max-outstanding", 1024, "outstanding request cap (open mode); excess ticks count as dropped")
+	flag.Parse()
+
+	if _, err := url.Parse(*addr); err != nil {
+		log.Fatal("lakeload: bad -addr: ", err)
+	}
+	var sink io.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal("lakeload: ", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Print("lakeload: close -out: ", err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				log.Print("lakeload: flush -out: ", err)
+			}
+		}()
+		sink = bw
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	probe, err := probeServer(client, *addr, *waitReady)
+	if err != nil {
+		log.Fatal("lakeload: ", err)
+	}
+	if probe.Ready {
+		log.Printf("server ready: %d root children in dimension 0", probe.RootChildren)
+	} else {
+		log.Print("organization not ready; generating search-only load")
+	}
+
+	gen, err := newOpGen(opGenConfig{
+		Seed:         *seed,
+		Queries:      *queries,
+		ZipfS:        *zipfS,
+		K:            *k,
+		BatchSize:    *batchSize,
+		RootChildren: probe.RootChildren,
+		NavReady:     probe.Ready,
+	})
+	if err != nil {
+		log.Fatal("lakeload: ", err)
+	}
+
+	runner := &runner{
+		client:  client,
+		base:    strings.TrimRight(*addr, "/"),
+		records: newRecorder(sink),
+	}
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		runner.runClosed(gen, *workers, *duration)
+	case "open":
+		runner.runOpen(gen, *rate, *duration, *maxOutstanding)
+	default:
+		log.Fatalf("lakeload: unknown -mode %q (want closed or open)", *mode)
+	}
+	elapsed := time.Since(start)
+
+	sum := runner.records.summarize(elapsed)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal("lakeload: ", err)
+	}
+	if *failOnError && sum.Failures > 0 {
+		log.Fatalf("lakeload: %d failing responses (non-2xx, excluding shed)", sum.Failures)
+	}
+}
+
+// probeResult is what the startup probe learned about the server.
+type probeResult struct {
+	// Ready reports whether /readyz answered 200 within the wait budget.
+	Ready bool
+	// RootChildren is dimension 0's root branching factor, the basis for
+	// the deterministic path population (0 when not ready).
+	RootChildren int
+}
+
+// probeServer waits for liveness, then readiness, then asks /api/node
+// for the root child count so the schedule only navigates paths that
+// exist. A server that never becomes ready within wait is still usable
+// for search-only load.
+func probeServer(client *http.Client, base string, wait time.Duration) (probeResult, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close() // drained; nothing actionable on close
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return probeResult{}, fmt.Errorf("server not reachable within %s: %w", wait, err)
+			}
+			return probeResult{}, fmt.Errorf("server not healthy within %s", wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close() // drained; nothing actionable on close
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return probeResult{Ready: false}, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	resp, err := client.Get(base + "/api/node")
+	if err != nil {
+		return probeResult{}, fmt.Errorf("root probe: %w", err)
+	}
+	defer func() {
+		_ = resp.Body.Close() // read below; nothing actionable on close
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return probeResult{}, fmt.Errorf("root probe: status %d", resp.StatusCode)
+	}
+	var node struct {
+		Children []json.RawMessage `json:"children"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&node); err != nil {
+		return probeResult{}, fmt.Errorf("root probe: %w", err)
+	}
+	return probeResult{Ready: true, RootChildren: len(node.Children)}, nil
+}
+
+// runner issues operations against the server and records outcomes.
+type runner struct {
+	client  *http.Client
+	base    string
+	records *recorder
+}
+
+// runClosed drives the closed loop: workers streams of back-to-back
+// requests. Worker w draws from its own deterministic sub-stream, so
+// the per-worker request sequence is independent of scheduling.
+func (r *runner) runClosed(gen *opGen, workers int, duration time.Duration) {
+	if workers <= 0 {
+		workers = 1
+	}
+	stop := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := gen.worker(w)
+			for time.Now().Before(stop) {
+				r.issue(w, sub.next())
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen drives the open loop: one deterministic operation stream
+// dispatched on a fixed-rate ticker, independent of completions.
+func (r *runner) runOpen(gen *opGen, rate float64, duration time.Duration, maxOutstanding int) {
+	if rate <= 0 {
+		rate = 1
+	}
+	if maxOutstanding <= 0 {
+		maxOutstanding = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sub := gen.worker(0)
+	slots := make(chan struct{}, maxOutstanding)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		case <-ticker.C:
+			op := sub.next()
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					r.issue(0, op)
+				}()
+			default:
+				r.records.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// issue sends one operation and records the outcome.
+func (r *runner) issue(worker int, o op) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	start := time.Now()
+	if o.body == "" {
+		resp, err = r.client.Get(r.base + o.path)
+	} else {
+		resp, err = r.client.Post(r.base+o.path, "application/json", strings.NewReader(o.body))
+	}
+	latency := time.Since(start)
+	rec := record{
+		TMS:       float64(start.UnixNano()%1e12) / 1e6,
+		Worker:    worker,
+		Op:        o.kind,
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		r.records.add(rec)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close() // drained; nothing actionable on close
+	rec.Status = resp.StatusCode
+	// The navserver's load shedder answers 503 with the literal body
+	// "overloaded"; that is deliberate back-pressure, not a failure.
+	rec.Shed = resp.StatusCode == http.StatusServiceUnavailable &&
+		strings.Contains(string(body), "overloaded")
+	r.records.add(rec)
+}
+
+// record is one NDJSON line of the per-request log.
+type record struct {
+	TMS       float64 `json:"t_ms"`
+	Worker    int     `json:"worker"`
+	Op        string  `json:"op"`
+	Status    int     `json:"status,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	Shed      bool    `json:"shed,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// recorder aggregates request outcomes and optionally streams them as
+// NDJSON.
+type recorder struct {
+	mu        sync.Mutex
+	sink      *json.Encoder
+	latencies []float64
+	byOp      map[string]int
+	byStatus  map[string]int
+	shed      int
+	netErrs   int
+	failures  int
+	total     int
+	dropped   atomic.Int64
+}
+
+func newRecorder(sink io.Writer) *recorder {
+	r := &recorder{
+		byOp:     make(map[string]int),
+		byStatus: make(map[string]int),
+	}
+	if sink != nil {
+		r.sink = json.NewEncoder(sink)
+	}
+	return r
+}
+
+func (r *recorder) add(rec record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.byOp[rec.Op]++
+	switch {
+	case rec.Error != "":
+		r.netErrs++
+		r.failures++
+	case rec.Shed:
+		r.shed++
+		r.byStatus[fmt.Sprintf("%d", rec.Status)]++
+	default:
+		r.byStatus[fmt.Sprintf("%d", rec.Status)]++
+		if rec.Status < 200 || rec.Status >= 300 {
+			r.failures++
+		}
+		r.latencies = append(r.latencies, rec.LatencyMS)
+	}
+	if r.sink != nil {
+		if err := r.sink.Encode(rec); err != nil {
+			log.Print("lakeload: ndjson: ", err)
+			r.sink = nil
+		}
+	}
+}
+
+// summary is the end-of-run report printed to stdout.
+type summary struct {
+	Requests  int            `json:"requests"`
+	Dropped   int64          `json:"dropped,omitempty"`
+	ByOp      map[string]int `json:"by_op"`
+	ByStatus  map[string]int `json:"by_status"`
+	Shed      int            `json:"shed"`
+	NetErrors int            `json:"net_errors"`
+	// Failures counts non-2xx responses excluding deliberate shed 503s,
+	// plus transport errors — the CI gate quantity.
+	Failures   int     `json:"failures"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_rps"`
+	LatencyMS  struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+func (r *recorder) summarize(elapsed time.Duration) summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := summary{
+		Requests:   r.total,
+		Dropped:    r.dropped.Load(),
+		ByOp:       r.byOp,
+		ByStatus:   r.byStatus,
+		Shed:       r.shed,
+		NetErrors:  r.netErrs,
+		Failures:   r.failures,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		s.Throughput = float64(r.total) / elapsed.Seconds()
+	}
+	if len(r.latencies) > 0 {
+		sorted := append([]float64(nil), r.latencies...)
+		sort.Float64s(sorted)
+		s.LatencyMS.P50 = quantile(sorted, 0.50)
+		s.LatencyMS.P95 = quantile(sorted, 0.95)
+		s.LatencyMS.P99 = quantile(sorted, 0.99)
+		s.LatencyMS.Max = sorted[len(sorted)-1]
+	}
+	return s
+}
+
+// quantile reads the q-quantile from an ascending slice (nearest rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustGen(t *testing.T, cfg opGenConfig) *opGen {
+	t.Helper()
+	g, err := newOpGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func drawOps(g *opGen, worker, n int) []op {
+	s := g.worker(worker)
+	out := make([]op, n)
+	for i := range out {
+		out[i] = s.next()
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := opGenConfig{Seed: 7, Queries: 32, ZipfS: 1.1, K: 5, BatchSize: 4, RootChildren: 3, NavReady: true}
+	a := drawOps(mustGen(t, cfg), 2, 200)
+	b := drawOps(mustGen(t, cfg), 2, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs between identical seeds:\n %+v\n %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different stream.
+	cfg.Seed = 8
+	c := drawOps(mustGen(t, cfg), 2, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestWorkerStreamsIndependent(t *testing.T) {
+	cfg := opGenConfig{Seed: 7, Queries: 32, ZipfS: 1.1, NavReady: true, RootChildren: 2}
+	g := mustGen(t, cfg)
+	// Worker w's stream must not depend on other workers having drawn.
+	solo := drawOps(g, 3, 50)
+	g2 := mustGen(t, cfg)
+	_ = drawOps(g2, 0, 17) // interleave another worker first
+	both := drawOps(g2, 3, 50)
+	for i := range solo {
+		if solo[i] != both[i] {
+			t.Fatalf("worker 3 stream shifted by worker 0 activity at op %d", i)
+		}
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	g := mustGen(t, opGenConfig{Seed: 1, Queries: 16, ZipfS: 1.2, K: 7, BatchSize: 3, RootChildren: 4, NavReady: true})
+	kinds := make(map[string]int)
+	for _, o := range drawOps(g, 0, 500) {
+		kinds[o.kind]++
+		switch o.kind {
+		case "suggest", "discover", "search":
+			if o.body != "" {
+				t.Fatalf("%s op has a body", o.kind)
+			}
+			if !strings.HasPrefix(o.path, "/api/") {
+				t.Fatalf("%s op path %q", o.kind, o.path)
+			}
+		case "batch_suggest", "batch_search":
+			var req struct {
+				Queries []map[string]any `json:"queries"`
+			}
+			if err := json.Unmarshal([]byte(o.body), &req); err != nil {
+				t.Fatalf("%s body not JSON: %v", o.kind, err)
+			}
+			if len(req.Queries) != 3 {
+				t.Fatalf("%s batch has %d queries, want 3", o.kind, len(req.Queries))
+			}
+		default:
+			t.Fatalf("unknown op kind %q", o.kind)
+		}
+	}
+	for _, kind := range []string{"suggest", "discover", "search", "batch_suggest", "batch_search"} {
+		if kinds[kind] == 0 {
+			t.Errorf("schedule never produced %s", kind)
+		}
+	}
+}
+
+func TestSearchOnlyWhenNotReady(t *testing.T) {
+	g := mustGen(t, opGenConfig{Seed: 1, Queries: 16, ZipfS: 1.2, NavReady: false})
+	for i, o := range drawOps(g, 0, 100) {
+		if o.kind != "search" {
+			t.Fatalf("op %d is %s on a not-ready server", i, o.kind)
+		}
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	var buf bytes.Buffer
+	r := newRecorder(&buf)
+	r.add(record{Op: "search", Status: 200, LatencyMS: 1})
+	r.add(record{Op: "search", Status: 200, LatencyMS: 3})
+	r.add(record{Op: "suggest", Status: 503, Shed: true, LatencyMS: 9})
+	r.add(record{Op: "suggest", Status: 500, LatencyMS: 2})
+	r.add(record{Op: "discover", Error: "dial refused"})
+	r.dropped.Add(2)
+
+	s := r.summarize(2 * time.Second)
+	if s.Requests != 5 || s.Shed != 1 || s.NetErrors != 1 || s.Dropped != 2 {
+		t.Errorf("summary counts = %+v", s)
+	}
+	// Failures: the 500 and the transport error; the shed 503 is not one.
+	if s.Failures != 2 {
+		t.Errorf("Failures = %d, want 2", s.Failures)
+	}
+	if s.Throughput != 2.5 {
+		t.Errorf("Throughput = %v, want 2.5", s.Throughput)
+	}
+	// Shed and transport-error requests stay out of the latency population.
+	if s.LatencyMS.Max != 3 {
+		t.Errorf("latency max = %v, want 3", s.LatencyMS.Max)
+	}
+	// One NDJSON line per request.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 5 {
+		t.Errorf("NDJSON lines = %d, want 5", lines)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := quantile(sorted, 0.99); q != 9 {
+		t.Errorf("p99 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+// stubServer mimics the navserver surface lakeload touches, counting
+// requests and shedding a configurable fraction with the literal
+// "overloaded" 503 body.
+func stubServer(ready bool, shedEvery int) (*httptest.Server, *atomic.Int64) {
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready {
+			http.Error(w, "organization not built yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/api/node", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"children":[{},{},{}]}`)
+	})
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		c := n.Add(1)
+		if shedEvery > 0 && c%int64(shedEvery) == 0 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `[]`)
+	}
+	mux.HandleFunc("/api/suggest", serve)
+	mux.HandleFunc("/api/discover", serve)
+	mux.HandleFunc("/api/search", serve)
+	mux.HandleFunc("/batch/suggest", serve)
+	mux.HandleFunc("/batch/search", serve)
+	return httptest.NewServer(mux), &n
+}
+
+func TestProbeServer(t *testing.T) {
+	srv, _ := stubServer(true, 0)
+	defer srv.Close()
+	probe, err := probeServer(srv.Client(), srv.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probe.Ready || probe.RootChildren != 3 {
+		t.Errorf("probe = %+v", probe)
+	}
+
+	notReady, _ := stubServer(false, 0)
+	defer notReady.Close()
+	probe, err = probeServer(notReady.Client(), notReady.URL, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Ready {
+		t.Error("not-ready server probed ready")
+	}
+}
+
+func TestClosedLoopSmoke(t *testing.T) {
+	srv, hits := stubServer(true, 7)
+	defer srv.Close()
+	g := mustGen(t, opGenConfig{Seed: 3, Queries: 8, ZipfS: 1.1, BatchSize: 2, RootChildren: 3, NavReady: true})
+	var buf bytes.Buffer
+	run := &runner{client: srv.Client(), base: srv.URL, records: newRecorder(&buf)}
+	run.runClosed(g, 4, 300*time.Millisecond)
+	s := run.records.summarize(300 * time.Millisecond)
+	if s.Requests == 0 || hits.Load() == 0 {
+		t.Fatal("closed loop issued no requests")
+	}
+	// Every 7th stub response sheds; shed must be detected and excluded
+	// from failures.
+	if s.Shed == 0 {
+		t.Error("no shed responses detected")
+	}
+	if s.Failures != 0 {
+		t.Errorf("Failures = %d, want 0 (only shed 503s)", s.Failures)
+	}
+	// NDJSON is one valid JSON object per line.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+	}
+}
+
+func TestOpenLoopSmoke(t *testing.T) {
+	srv, _ := stubServer(true, 0)
+	defer srv.Close()
+	g := mustGen(t, opGenConfig{Seed: 3, Queries: 8, ZipfS: 1.1, NavReady: true, RootChildren: 3})
+	run := &runner{client: srv.Client(), base: srv.URL, records: newRecorder(nil)}
+	run.runOpen(g, 200, 300*time.Millisecond, 16)
+	s := run.records.summarize(300 * time.Millisecond)
+	if s.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	if s.Failures != 0 {
+		t.Errorf("Failures = %d, want 0", s.Failures)
+	}
+}

@@ -3,17 +3,28 @@
 //
 //	navserver -lake lake.json [-org org.json] [-dims N] [-addr :8080]
 //	          [-checkpoint search.ck] [-resume] [-max-inflight 64]
-//	          [-pprof localhost:6060]
+//	          [-pprof localhost:6060] [-cache-size 4096] [-max-batch 256]
 //
 // API:
 //
 //	GET /api/node?dim=0&path=0.2.1   the node at that child-index path
-//	GET /api/suggest?dim=0&path=…&q=terms  ranked children for a query
+//	GET /api/suggest?dim=0&path=…&q=terms&k=5  ranked children for a query
+//	GET /api/discover?dim=0&q=terms&k=10  tables most likely discovered by navigation
 //	GET /api/search?q=terms&k=10     BM25 table search
+//	POST /batch/suggest              {"queries":[{dim,path,q,k},…]} answered as one batch
+//	POST /batch/search               {"queries":[{q,k},…]} answered as one batch
 //	GET /healthz                     liveness (always 200 once listening)
 //	GET /readyz                      readiness (503 until the organization is built)
 //	GET /metrics                     JSON metrics (requests, latencies, build progress)
 //	GET /                            HTML browser
+//
+// Query evaluation goes through internal/serve: each served
+// organization is wrapped in an immutable snapshot whose quantized
+// query-topic cache makes repeated and batched queries cheap, and whose
+// generation stamp invalidates the shared cache wholesale on the atomic
+// org swap. Cached answers are bit-identical to uncached ones. The
+// batch endpoints fan their queries across the evaluator's bounded
+// worker pool; -cache-size and -max-batch bound both fast paths.
 //
 // The server is built to stay up: keyword search is served from the lake
 // the moment the listener is open, while the organization — when not
@@ -36,29 +47,41 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lakenav"
+	"lakenav/internal/serve"
 )
 
-// Request validation bounds: dotted navigation paths and result counts
-// are user input and must not be able to drive unbounded work.
+// Request validation bounds: dotted navigation paths, result counts and
+// batch sizes are user input and must not be able to drive unbounded
+// work. Path bounds are owned by internal/serve so the HTTP layer and
+// the evaluator agree on them.
 const (
-	maxPathLen      = 256
-	maxPathElems    = 64
 	maxSearchK      = 1000
 	defaultInflight = 64
+	defaultMaxBatch = 256
+	maxBatchBody    = 1 << 20 // batch request body cap, bytes
 )
 
 type server struct {
 	search *lakenav.SearchEngine
-	// org is swapped in atomically when the background build finishes
-	// (and on any future rebuild), so request handlers never see a
-	// half-built organization and never block on construction.
-	org atomic.Pointer[lakenav.Organization]
+	// snap is the serving snapshot, swapped in atomically when the
+	// background build finishes (and on any future rebuild), so request
+	// handlers never see a half-built organization and never block on
+	// construction. Before the build lands the snapshot is not-ready:
+	// search still works, navigation answers 503.
+	snap atomic.Pointer[serve.Snapshot]
+	// cache is the shared query-result cache surviving org swaps (each
+	// swap's new snapshot generation invalidates old entries wholesale);
+	// nil disables caching.
+	cache *serve.Cache
+	// serveWorkers bounds the batch fan-out pool (0 = all CPUs).
+	serveWorkers int
+	// maxBatch bounds queries per batch request.
+	maxBatch int
 	// sem bounds concurrently served requests; a full semaphore sheds
 	// load with 503 instead of queueing without bound.
 	sem chan struct{}
@@ -66,22 +89,59 @@ type server struct {
 	metrics *serverMetrics
 }
 
+// serveOptions configures the serving fast path; the zero value means
+// a default-sized cache, default batch bound, and all-CPU fan-out.
+type serveOptions struct {
+	// cacheSize is the cache entry capacity: 0 selects
+	// serve.DefaultCacheSize, negative disables caching.
+	cacheSize int
+	// maxBatch bounds queries per batch request; 0 selects
+	// defaultMaxBatch.
+	maxBatch int
+	// workers bounds the batch fan-out pool; 0 uses all CPUs.
+	workers int
+}
+
 func newServer(search *lakenav.SearchEngine, maxInflight int) *server {
+	return newServerWith(search, maxInflight, serveOptions{})
+}
+
+func newServerWith(search *lakenav.SearchEngine, maxInflight int, opts serveOptions) *server {
 	if maxInflight <= 0 {
 		maxInflight = defaultInflight
 	}
-	return &server{
-		search:  search,
-		sem:     make(chan struct{}, maxInflight),
-		metrics: newServerMetrics(),
+	if opts.maxBatch <= 0 {
+		opts.maxBatch = defaultMaxBatch
 	}
+	s := &server{
+		search:       search,
+		serveWorkers: opts.workers,
+		maxBatch:     opts.maxBatch,
+		sem:          make(chan struct{}, maxInflight),
+		metrics:      newServerMetrics(),
+	}
+	if opts.cacheSize >= 0 {
+		s.cache = serve.NewCache(opts.cacheSize)
+	}
+	s.setOrganization(nil) // not-ready snapshot: search works immediately
+	return s
 }
 
-func (s *server) setOrganization(org *lakenav.Organization) { s.org.Store(org) }
+// setOrganization wraps org in a fresh snapshot and swaps it in. The
+// new snapshot's generation stamp makes every cache entry written under
+// the previous organization unreachable, so in-flight and future
+// requests only ever see answers computed against the organization they
+// were routed to.
+func (s *server) setOrganization(org *lakenav.Organization) {
+	s.snap.Store(serve.NewSnapshot(org, s.search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
+}
+
+// snapshot returns the current serving snapshot (never nil).
+func (s *server) snapshot() *serve.Snapshot { return s.snap.Load() }
 
 // organization returns the currently served organization, or nil while
 // the background build is still running.
-func (s *server) organization() *lakenav.Organization { return s.org.Load() }
+func (s *server) organization() *lakenav.Organization { return s.snap.Load().Org() }
 
 // handler assembles the route table inside the middleware chain:
 // panic recovery outermost, then request logging, then metrics (so
@@ -90,7 +150,10 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/node", s.handleNode)
 	mux.HandleFunc("/api/suggest", s.handleSuggest)
+	mux.HandleFunc("/api/discover", s.handleDiscover)
 	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/batch/suggest", s.handleBatchSuggest)
+	mux.HandleFunc("/batch/search", s.handleBatchSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -109,6 +172,8 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluator goroutine pool size for the background build; 0 uses all CPUs")
 	restarts := flag.Int("restarts", 1, "independent searches per dimension in the background build, keeping the most effective")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
+	cacheSize := flag.Int("cache-size", 0, "query-result cache capacity in entries; 0 uses the default, negative disables caching")
+	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum queries per /batch request")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -117,7 +182,10 @@ func main() {
 	if err != nil {
 		log.Fatal("navserver: ", err)
 	}
-	s := newServer(lakenav.NewSearchEngine(l), *maxInflight)
+	s := newServerWith(lakenav.NewSearchEngine(l), *maxInflight, serveOptions{
+		cacheSize: *cacheSize,
+		maxBatch:  *maxBatch,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -285,30 +353,25 @@ func parseDim(r *http.Request, org *lakenav.Organization) (int, error) {
 	return dim, nil
 }
 
-// navigateTo positions a fresh navigator at the dotted child-index path.
+// navigateTo positions a fresh navigator at the dotted child-index
+// path; validation (length, depth, element range) lives in
+// serve.Navigate so the HTTP layer and the cached fast path agree.
 func navigateTo(org *lakenav.Organization, dim int, path string) (*lakenav.Navigator, error) {
-	if len(path) > maxPathLen {
-		return nil, fmt.Errorf("path longer than %d bytes", maxPathLen)
+	return serve.Navigate(org, dim, path)
+}
+
+// parseK validates an optional k query parameter in [1, maxSearchK];
+// absent returns def.
+func parseK(r *http.Request, def int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
 	}
-	nav := org.Navigator()
-	nav.Reset(dim)
-	if path == "" {
-		return nav, nil
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 || k > maxSearchK {
+		return 0, fmt.Errorf("bad k %q: want an integer in [1, %d]", raw, maxSearchK)
 	}
-	parts := strings.Split(path, ".")
-	if len(parts) > maxPathElems {
-		return nil, fmt.Errorf("path deeper than %d elements", maxPathElems)
-	}
-	for _, part := range parts {
-		i, err := strconv.Atoi(part)
-		if err != nil || i < 0 {
-			return nil, fmt.Errorf("bad path element %q", part)
-		}
-		if !nav.Descend(i) {
-			return nil, fmt.Errorf("path element %d out of range", i)
-		}
-	}
-	return nav, nil
+	return k, nil
 }
 
 // requireOrg is the not-ready guard for navigation endpoints; search
@@ -319,6 +382,17 @@ func (s *server) requireOrg(w http.ResponseWriter) *lakenav.Organization {
 		http.Error(w, "organization still building; try /api/search or retry shortly", http.StatusServiceUnavailable)
 	}
 	return org
+}
+
+// requireReady is requireOrg for handlers that already hold a snapshot:
+// the guard and the evaluation must use the same snapshot, or a swap
+// between them could turn a not-ready condition into a spurious 400.
+func requireReady(w http.ResponseWriter, snap *serve.Snapshot) bool {
+	if !snap.Ready() {
+		http.Error(w, "organization still building; try /api/search or retry shortly", http.StatusServiceUnavailable)
+		return false
+	}
+	return true
 }
 
 type nodeResponse struct {
@@ -352,8 +426,8 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	org := s.requireOrg(w)
-	if org == nil {
+	snap := s.snapshot()
+	if !requireReady(w, snap) {
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -361,17 +435,53 @@ func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q", http.StatusBadRequest)
 		return
 	}
-	dim, err := parseDim(r, org)
+	dim, err := parseDim(r, snap.Org())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	nav, err := navigateTo(org, dim, r.URL.Query().Get("path"))
+	k, err := parseK(r, 0) // 0 = all children
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, nav.Suggest(q))
+	sugg, err := snap.Suggest(dim, r.URL.Query().Get("path"), q, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, sugg)
+}
+
+// handleDiscover serves the table-discovery ranking: for a query, the
+// probability each lake table is found by a navigation session. This is
+// the endpoint whose reach sweep the serving cache amortizes.
+func (s *server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	if !requireReady(w, snap) {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	dim, err := parseDim(r, snap.Org())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, err := parseK(r, 10)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	disc, err := snap.Discover(dim, q, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, disc)
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -380,16 +490,113 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q", http.StatusBadRequest)
 		return
 	}
-	k := 10
-	if raw := r.URL.Query().Get("k"); raw != "" {
-		var err error
-		k, err = strconv.Atoi(raw)
-		if err != nil || k <= 0 || k > maxSearchK {
-			http.Error(w, fmt.Sprintf("bad k %q: want an integer in [1, %d]", raw, maxSearchK), http.StatusBadRequest)
-			return
+	k, err := parseK(r, 10)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.snapshot().Search(q, k))
+}
+
+// batchRequest is the wire form of both batch endpoints' bodies.
+type batchRequest[T any] struct {
+	Queries []T `json:"queries"`
+}
+
+// decodeBatch reads and bounds a batch request body. It enforces the
+// method, the body size cap, and the per-request query budget, writing
+// the error response itself when the batch is rejected.
+func decodeBatch[T any](s *server, w http.ResponseWriter, r *http.Request) ([]T, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON body: {\"queries\": [...]}", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	var req batchRequest[T]
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty batch: want {\"queries\": [...]}", http.StatusBadRequest)
+		return nil, false
+	}
+	if len(req.Queries) > s.maxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch), http.StatusBadRequest)
+		return nil, false
+	}
+	return req.Queries, true
+}
+
+// batchSuggestItem is one answer of a /batch/suggest response; Error is
+// per-item so one malformed query never fails its siblings.
+type batchSuggestItem struct {
+	Suggestions []lakenav.ScoredNode `json:"suggestions"`
+	Error       string               `json:"error,omitempty"`
+}
+
+func (s *server) handleBatchSuggest(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	if !requireReady(w, snap) {
+		return
+	}
+	reqs, ok := decodeBatch[serve.SuggestRequest](s, w, r)
+	if !ok {
+		return
+	}
+	results := snap.SuggestBatch(reqs)
+	items := make([]batchSuggestItem, len(results))
+	for i, res := range results {
+		items[i].Suggestions = res.Suggestions
+		if res.Err != nil {
+			items[i].Error = res.Err.Error()
 		}
 	}
-	writeJSON(w, s.search.Search(q, k))
+	writeJSON(w, struct {
+		Results []batchSuggestItem `json:"results"`
+	}{items})
+}
+
+// batchSearchItem is one answer of a /batch/search response.
+type batchSearchItem struct {
+	Tables []string `json:"tables"`
+	Error  string   `json:"error,omitempty"`
+}
+
+func (s *server) handleBatchSearch(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	reqs, ok := decodeBatch[serve.SearchRequest](s, w, r)
+	if !ok {
+		return
+	}
+	// Validate per item (k bounds match /api/search); invalid items are
+	// answered with an error, valid ones still go through the batch.
+	valid := make([]serve.SearchRequest, 0, len(reqs))
+	items := make([]batchSearchItem, len(reqs))
+	slot := make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		if req.Q == "" {
+			items[i].Error = "missing q"
+			continue
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+		if req.K < 0 || req.K > maxSearchK {
+			items[i].Error = fmt.Sprintf("bad k %d: want an integer in [1, %d]", req.K, maxSearchK)
+			continue
+		}
+		valid = append(valid, req)
+		slot = append(slot, i)
+	}
+	for i, res := range snap.SearchBatch(valid) {
+		items[slot[i]].Tables = res.Tables
+	}
+	writeJSON(w, struct {
+		Results []batchSearchItem `json:"results"`
+	}{items})
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {

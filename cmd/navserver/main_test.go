@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lakenav"
+	"lakenav/internal/serve"
 )
 
 func testLakeAndOrg(t *testing.T) (*lakenav.Lake, *lakenav.Organization) {
@@ -80,8 +81,8 @@ func TestHandleNodeDescends(t *testing.T) {
 
 func TestHandleNodeBadPath(t *testing.T) {
 	s := testServer(t)
-	longPath := strings.Repeat("0.", maxPathLen) + "0"
-	deepPath := strings.TrimSuffix(strings.Repeat("0.", maxPathElems+1), ".")
+	longPath := strings.Repeat("0.", serve.MaxPathLen) + "0"
+	deepPath := strings.TrimSuffix(strings.Repeat("0.", serve.MaxPathElems+1), ".")
 	for _, url := range []string{
 		"/api/node?path=zebra",
 		"/api/node?path=999",

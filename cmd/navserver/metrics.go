@@ -47,7 +47,8 @@ type serverMetrics struct {
 // books under "other" so unknown paths cannot grow the registry
 // without bound.
 var metricRoutes = []string{
-	"/api/node", "/api/suggest", "/api/search",
+	"/api/node", "/api/suggest", "/api/discover", "/api/search",
+	"/batch/suggest", "/batch/search",
 	"/healthz", "/readyz", "/metrics", "/",
 }
 

@@ -75,6 +75,7 @@ func buildBase(l *lake.Lake, cfg BuildConfig) (*Org, []StateID, error) {
 		o.attrs = append(o.attrs, a)
 	}
 	sort.Slice(o.attrs, func(i, j int) bool { return o.attrs[i] < o.attrs[j] })
+	o.buildAttrIndex()
 
 	// Leaves.
 	for _, a := range o.attrs {

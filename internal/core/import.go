@@ -139,6 +139,7 @@ func Import(l *lake.Lake, ex *ExportedOrg) (*Org, error) {
 	}
 	o.Root = root
 	o.attrs = o.States[root].Domain()
+	o.buildAttrIndex()
 
 	if err := o.Validate(); err != nil {
 		return nil, fmt.Errorf("core: import produced invalid organization: %w", err)

@@ -130,6 +130,22 @@ func (o *Org) DiscoveryProb(a lake.AttrID) float64 {
 	return o.leafProbN(a, topic, norm, o.reachProbsN(topic, norm))
 }
 
+// DiscoveryProbs returns, for every organized attribute (parallel to
+// Attrs()), the probability that a session navigating under the given
+// query topic reaches the attribute's leaf: one reach sweep shared by
+// every leaf evaluation, with the topic norm computed once. This is the
+// serving-path form of discovery evaluation — DiscoveryProb answers it
+// for an attribute's own topic, this answers it for an arbitrary query.
+func (o *Org) DiscoveryProbs(topic vector.Vector) []float64 {
+	norm := vector.Norm(topic)
+	reach := o.reachProbsN(topic, norm)
+	out := make([]float64, len(o.attrs))
+	for i, a := range o.attrs {
+		out[i] = o.leafProbN(a, topic, norm, reach)
+	}
+	return out
+}
+
 // AttrDiscoveryProbs returns P(A|O) for every organized attribute,
 // parallel to Attrs(). This is the exact (non-approximate, non-pruned)
 // evaluation; the optimizer uses the incremental evaluator instead.
@@ -156,14 +172,29 @@ func (o *Org) TableProb(t *lake.Table, attrProbs []float64) float64 {
 }
 
 // attrIndex maps organized attribute IDs to their position in Attrs().
+// The map is precomputed by buildAttrIndex at every construction funnel
+// (buildBase, Import) — never built lazily here — so concurrent readers
+// (TableProb, Effectiveness under a serving snapshot) share an
+// immutable map instead of racing a first-call initialization.
 func (o *Org) attrIndex() map[lake.AttrID]int {
 	if o.attrIdx == nil {
-		o.attrIdx = make(map[lake.AttrID]int, len(o.attrs))
-		for i, a := range o.attrs {
-			o.attrIdx[a] = i
-		}
+		// A nil index means a construction path skipped buildAttrIndex —
+		// a programming error on par with negative support counts.
+		panic("core: attrIndex read before buildAttrIndex")
 	}
 	return o.attrIdx
+}
+
+// buildAttrIndex precomputes attrIdx from attrs. Every Org constructor
+// must call it after the organized attribute set is final: the index is
+// immutable afterwards (operations rearrange interior states but never
+// change the attribute set), which is what makes concurrent evaluation
+// safe without a lock.
+func (o *Org) buildAttrIndex() {
+	o.attrIdx = make(map[lake.AttrID]int, len(o.attrs))
+	for i, a := range o.attrs {
+		o.attrIdx[a] = i
+	}
 }
 
 // Effectiveness returns P(T|O) averaged over the lake's tables (Eq 6),

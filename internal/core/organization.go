@@ -161,7 +161,9 @@ type Org struct {
 	// attrs is the organized attribute set in ascending order.
 	attrs []lake.AttrID
 
-	// attrIdx lazily maps organized attributes to their index in attrs.
+	// attrIdx maps organized attributes to their index in attrs. It is
+	// precomputed at construction (buildAttrIndex) and immutable after,
+	// so concurrent evaluation never races an initialization.
 	attrIdx map[lake.AttrID]int
 
 	// track, when non-nil, records structural changes for the

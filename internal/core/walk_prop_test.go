@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// walkTestOrg builds the shared fixture organization for the Walk
+// property tests.
+func walkTestOrg(t *testing.T) *Org {
+	t.Helper()
+	o, err := NewClustered(testLake(t), BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// A nil-rng Walk is the deterministic "always take the most likely
+// child" session: at every step the chosen child must be the argmax of
+// TransitionProbs at the state just left, first index winning ties
+// (the same tie-break Walk implements).
+func TestWalkNilRngFollowsArgmax(t *testing.T) {
+	o := walkTestOrg(t)
+	for _, a := range o.Attrs() {
+		topic := o.States[o.leafOf[a]].topic
+		path := o.Walk(topic, nil)
+		if len(path) < 2 {
+			t.Fatalf("attr %d: walk %v too short", a, path)
+		}
+		if path[0] != o.Root {
+			t.Errorf("attr %d: walk starts at %d, not root %d", a, path[0], o.Root)
+		}
+		last := o.States[path[len(path)-1]]
+		if len(last.Children) != 0 {
+			t.Errorf("attr %d: walk ends at %d which still has children", a, last.ID)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			s := o.States[path[i]]
+			probs := o.TransitionProbs(path[i], topic)
+			best, bp := 0, -1.0
+			for j, p := range probs {
+				if p > bp {
+					bp, best = p, j
+				}
+			}
+			if got, want := path[i+1], s.Children[best]; got != want {
+				t.Fatalf("attr %d step %d: walk took child %d, argmax is %d (probs %v)",
+					a, i, got, want, probs)
+			}
+		}
+	}
+}
+
+// A seeded sampled Walk must draw children with the model's transition
+// probabilities: over many sessions, the observed child frequencies at
+// every sufficiently visited state converge to TransitionProbs within a
+// few standard errors.
+func TestWalkSampledFrequenciesConverge(t *testing.T) {
+	o := walkTestOrg(t)
+	topic := o.States[o.leafOf[o.Attrs()[0]]].topic
+	rng := rand.New(rand.NewSource(42))
+
+	const sessions = 20000
+	// visits[s] counts departures from s; taken[s][i] counts times the
+	// i-th child was chosen.
+	visits := make(map[StateID]int)
+	taken := make(map[StateID][]int)
+	for n := 0; n < sessions; n++ {
+		path := o.Walk(topic, rng)
+		for i := 0; i+1 < len(path); i++ {
+			s := o.States[path[i]]
+			if taken[path[i]] == nil {
+				taken[path[i]] = make([]int, len(s.Children))
+			}
+			visits[path[i]]++
+			for j, c := range s.Children {
+				if c == path[i+1] {
+					taken[path[i]][j]++
+					break
+				}
+			}
+		}
+	}
+
+	checked := 0
+	for id, n := range visits {
+		if n < 1000 {
+			continue // too few samples for a tight bound
+		}
+		probs := o.TransitionProbs(id, topic)
+		for j, p := range probs {
+			got := float64(taken[id][j]) / float64(n)
+			// Four standard errors plus a small absolute floor: a ~1 in
+			// 16k flake rate per bucket, deterministic here anyway since
+			// the rng is seeded.
+			tol := 4*math.Sqrt(p*(1-p)/float64(n)) + 1e-3
+			if math.Abs(got-p) > tol {
+				t.Errorf("state %d child %d: frequency %.4f, want %.4f ± %.4f (n=%d)",
+					id, j, got, p, tol, n)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no state accumulated enough visits to check convergence")
+	}
+}

@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FailingWriter byte-budget edge cases: the writer must accept exactly
+// N bytes — no more, no fewer — report short writes the way a real
+// ENOSPC does, and keep failing once the budget is spent.
+func TestFailingWriterBudget(t *testing.T) {
+	tests := []struct {
+		name   string
+		budget int64
+		writes []string
+		// wantN / wantErr per write, parallel to writes.
+		wantN   []int
+		wantErr []bool
+	}{
+		{
+			name:   "exact fit then fail",
+			budget: 5,
+			writes: []string{"hello", "x"},
+			wantN:  []int{5, 0}, wantErr: []bool{false, true},
+		},
+		{
+			name:   "partial fit reports short write",
+			budget: 3,
+			writes: []string{"hello"},
+			wantN:  []int{3}, wantErr: []bool{true},
+		},
+		{
+			name:   "zero budget fails immediately",
+			budget: 0,
+			writes: []string{"a"},
+			wantN:  []int{0}, wantErr: []bool{true},
+		},
+		{
+			name:   "budget spent across calls",
+			budget: 4,
+			writes: []string{"ab", "cd", "ef"},
+			wantN:  []int{2, 2, 0}, wantErr: []bool{false, false, true},
+		},
+		{
+			name:   "boundary straddled mid-call",
+			budget: 3,
+			writes: []string{"ab", "cd"},
+			wantN:  []int{2, 1}, wantErr: []bool{false, true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			fw := &FailingWriter{W: &buf, N: tt.budget}
+			var accepted int
+			for i, s := range tt.writes {
+				n, err := fw.Write([]byte(s))
+				if n != tt.wantN[i] {
+					t.Errorf("write %d: n = %d, want %d", i, n, tt.wantN[i])
+				}
+				if (err != nil) != tt.wantErr[i] {
+					t.Errorf("write %d: err = %v, want error %v", i, err, tt.wantErr[i])
+				}
+				if err != nil && !errors.Is(err, io.ErrShortWrite) {
+					t.Errorf("write %d: err = %v, want io.ErrShortWrite", i, err)
+				}
+				accepted += n
+			}
+			if int64(accepted) > tt.budget {
+				t.Errorf("writer accepted %d bytes past budget %d", accepted, tt.budget)
+			}
+			if got := buf.Len(); got != accepted {
+				t.Errorf("underlying writer got %d bytes, reported %d accepted", got, accepted)
+			}
+		})
+	}
+}
+
+// A custom Err replaces the io.ErrShortWrite default, including on the
+// partial write that exhausts the budget.
+func TestFailingWriterCustomErr(t *testing.T) {
+	sentinel := errors.New("disk full")
+	var buf bytes.Buffer
+	fw := &FailingWriter{W: &buf, N: 2, Err: sentinel}
+	if n, err := fw.Write([]byte("abc")); n != 2 || !errors.Is(err, sentinel) {
+		t.Errorf("partial write: n=%d err=%v, want 2, %v", n, err, sentinel)
+	}
+	if _, err := fw.Write([]byte("d")); !errors.Is(err, sentinel) {
+		t.Errorf("post-budget write: err=%v, want %v", err, sentinel)
+	}
+}
+
+// FailingReader mirrors the writer: N readable bytes, then the error,
+// with the error surfacing alongside the final bytes when a read lands
+// exactly on the budget.
+func TestFailingReaderBudget(t *testing.T) {
+	fr := &FailingReader{R: strings.NewReader("abcdef"), N: 4}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if string(got) != "abcd" {
+		t.Errorf("read %q, want %q", got, "abcd")
+	}
+
+	sentinel := errors.New("io fault")
+	fr = &FailingReader{R: strings.NewReader("abcdef"), N: 2, Err: sentinel}
+	buf := make([]byte, 2)
+	n, err := fr.Read(buf)
+	if n != 2 || !errors.Is(err, sentinel) {
+		t.Errorf("exact-budget read: n=%d err=%v, want 2, %v", n, err, sentinel)
+	}
+
+	fr = &FailingReader{R: strings.NewReader("ab"), N: 0}
+	if n, err := fr.Read(buf); n != 0 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("zero-budget read: n=%d err=%v", n, err)
+	}
+}
+
+func TestSlowReaderDelays(t *testing.T) {
+	sr := &SlowReader{R: strings.NewReader("xy"), Delay: 10 * time.Millisecond}
+	start := time.Now()
+	got, err := io.ReadAll(sr)
+	if err != nil || string(got) != "xy" {
+		t.Fatalf("read %q, err %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("read finished in %v, want at least one delay", elapsed)
+	}
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := TruncateFile(path, 4)
+	if err != nil || removed != 6 {
+		t.Fatalf("removed %d, err %v", removed, err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "0123" {
+		t.Errorf("file = %q", data)
+	}
+	// keep < 0 clamps to empty; keep beyond size is an error.
+	if _, err := TruncateFile(path, -3); err != nil {
+		t.Errorf("negative keep: %v", err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Errorf("negative keep left %q", data)
+	}
+	if _, err := TruncateFile(path, 99); err == nil {
+		t.Error("keep beyond size: want error")
+	}
+	if _, err := TruncateFile(filepath.Join(t.TempDir(), "absent"), 0); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestTornCopy(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("abcdefgh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		fraction float64
+		want     string
+	}{
+		{0.5, "abcd"},
+		{0, ""},
+		{1, "abcdefgh"},
+		{-1, ""},        // clamped
+		{2, "abcdefgh"}, // clamped
+	} {
+		dst := filepath.Join(dir, "dst")
+		if err := TornCopy(src, dst, tt.fraction); err != nil {
+			t.Fatalf("fraction %v: %v", tt.fraction, err)
+		}
+		data, _ := os.ReadFile(dst)
+		if string(data) != tt.want {
+			t.Errorf("fraction %v: got %q, want %q", tt.fraction, data, tt.want)
+		}
+	}
+	if err := TornCopy(filepath.Join(dir, "absent"), filepath.Join(dir, "dst"), 0.5); err == nil {
+		t.Error("missing src: want error")
+	}
+}
+
+func TestCancelProbes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	probe := CancelAtIteration(cancel, 3)
+	probe(2)
+	if ctx.Err() != nil {
+		t.Fatal("cancelled before iteration threshold")
+	}
+	probe(3)
+	if ctx.Err() == nil {
+		t.Fatal("not cancelled at iteration threshold")
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	fire := false
+	when := CancelWhen(cancel, func() bool { return fire })
+	when(0)
+	if ctx.Err() != nil {
+		t.Fatal("cancelled before condition")
+	}
+	fire = true
+	when(0)
+	if ctx.Err() == nil {
+		t.Fatal("not cancelled once condition holds")
+	}
+}

@@ -1,0 +1,22 @@
+package serve
+
+import "lakenav/internal/obs"
+
+// Serving fast-path instrumentation, registered on the process-wide
+// registry (navserver exports it under /metrics). Cache traffic lands
+// on counters resolved once at init; the batch histograms book one
+// observation per batch call. Per DESIGN.md §9 none of this feeds back
+// into results: cached and uncached answers are bit-identical with or
+// without metrics.
+var (
+	metricCacheHits          = obs.Default.Counter("serve.cache.hits_total")
+	metricCacheMisses        = obs.Default.Counter("serve.cache.misses_total")
+	metricCacheEvictions     = obs.Default.Counter("serve.cache.evictions_total")
+	metricCacheInvalidations = obs.Default.Counter("serve.cache.invalidations_total")
+	metricCacheEntries       = obs.Default.Gauge("serve.cache.entries")
+
+	metricBatchCalls   = obs.Default.Counter("serve.batch.calls_total")
+	metricBatchQueries = obs.Default.Counter("serve.batch.queries_total")
+	metricBatchLatency = obs.Default.Histogram("serve.batch.latency_seconds", obs.DefLatencyBuckets)
+	metricBatchSize    = obs.Default.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+)

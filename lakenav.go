@@ -343,6 +343,60 @@ func (o *Organization) TableSuccess(theta float64) map[string]float64 {
 	return out
 }
 
+// QueryTopic embeds a free-text query into the lake's topic space. It
+// returns false when no query term is covered by the embedding model —
+// the same condition under which Suggest and Walk return nil. The
+// topic vector is the cache key domain of the serving layer
+// (internal/serve): identical queries embed to identical vectors.
+func (o *Organization) QueryTopic(query string) (vector.Vector, bool) {
+	topic, _, ok := embedding.MeanVector(o.lake.model, []string{query})
+	return topic, ok
+}
+
+// Warm forces the lazily computed per-dimension navigation caches
+// (topological order, level map, attribute index) so that a structure
+// served read-only to concurrent sessions never triggers a lazy
+// rebuild mid-request. The serving layer calls it once per snapshot;
+// calling it again is a no-op.
+func (o *Organization) Warm() {
+	for _, org := range o.m.Orgs {
+		org.Topo()
+		org.Levels()
+	}
+}
+
+// TableDiscovery is one table with its probability of being discovered
+// by navigation under a query topic.
+type TableDiscovery struct {
+	// Table is the table's name.
+	Table string `json:"table"`
+	// Probability is P(T | X, O): the chance a session navigating under
+	// the query topic reaches at least one of the table's attributes.
+	Probability float64 `json:"probability"`
+}
+
+// DiscoverTopic evaluates, for every lake table, the probability that a
+// navigation session under the given query topic discovers it (Eq 5
+// applied to an arbitrary query rather than an attribute's own topic):
+// one reach-probability sweep over the dimension's DAG, then the leaf
+// and table aggregation. Results are in lake table order; tables with
+// no organized attribute in the dimension report 0.
+//
+// This is the repeated softmax sweep the serving cache amortizes —
+// its cost is what makes caching by query topic worthwhile.
+func (o *Organization) DiscoverTopic(dim int, topic vector.Vector) ([]TableDiscovery, error) {
+	if dim < 0 || dim >= len(o.m.Orgs) {
+		return nil, fmt.Errorf("lakenav: dimension %d out of range [0, %d)", dim, len(o.m.Orgs))
+	}
+	org := o.m.Orgs[dim]
+	attrProbs := org.DiscoveryProbs(topic)
+	out := make([]TableDiscovery, len(o.lake.l.Tables))
+	for i, t := range o.lake.l.Tables {
+		out[i] = TableDiscovery{Table: t.Name, Probability: org.TableProb(t, attrProbs)}
+	}
+	return out, nil
+}
+
 // Node describes one navigation choice presented to a user.
 type Node struct {
 	// Label is the display label (tags for interior states, the tag for
@@ -448,6 +502,13 @@ func (n *Navigator) Suggest(query string) []ScoredNode {
 	if !ok {
 		return nil
 	}
+	return n.SuggestTopic(topic)
+}
+
+// SuggestTopic is Suggest with the query already embedded, for callers
+// that manage query topics themselves (the serving layer embeds once,
+// quantizes, and keys its cache on the topic).
+func (n *Navigator) SuggestTopic(topic vector.Vector) []ScoredNode {
 	return n.suggestTopic(topic)
 }
 

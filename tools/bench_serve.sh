@@ -1,0 +1,82 @@
+#!/bin/sh
+# bench_serve.sh — serving fast-path benchmark snapshot. Runs the
+# internal/serve Zipf-workload benchmarks (Discover and Suggest, each
+# cached and uncached, plus the batched evaluator) and writes a JSON
+# snapshot — default BENCH_pr5.json — with raw ns/op and the
+# cached-vs-uncached speedup ratios. The ratios are gated at >= 1.5x:
+# on a repeated-query Zipf workload the query-topic cache must pay for
+# itself, or the serving fast path has regressed. Set BENCHTIME to
+# trade stability for wall-clock.
+#
+# Usage: bench_serve.sh [BENCH.json]   (default BENCH_pr5.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr5.json}
+BENCHTIME=${BENCHTIME:-300ms}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> serve benchmarks (internal/serve, -benchtime=$BENCHTIME)"
+go test ./internal/serve/ -run '^$' \
+	-bench '^(BenchmarkDiscoverZipf(Uncached|Cached)|BenchmarkSuggestZipf(Uncached|Cached)|BenchmarkSuggestBatch)$' \
+	-benchtime="$BENCHTIME" | tee "$TMP"
+
+awk -v out="$OUT" -v bt="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i - 1)
+}
+END {
+	nkeys = split("DiscoverZipfUncached DiscoverZipfCached " \
+		"SuggestZipfUncached SuggestZipfCached SuggestBatch", keys, " ")
+	printf("{\n") > out
+	printf("  \"benchtime\": \"%s\",\n", bt) >> out
+	printf("  \"ns_per_op\": {") >> out
+	first = 1
+	for (i = 1; i <= nkeys; i++) {
+		k = keys[i]
+		if (k in ns) {
+			printf("%s\n    \"%s\": %s", first ? "" : ",", k, ns[k]) >> out
+			first = 0
+		}
+	}
+	printf("\n  },\n") >> out
+	printf("  \"speedup\": {\n") >> out
+	printf("    \"discover_cached_vs_uncached\": %.3f,\n", \
+		ns["DiscoverZipfUncached"] / ns["DiscoverZipfCached"]) >> out
+	printf("    \"suggest_cached_vs_uncached\": %.3f\n", \
+		ns["SuggestZipfUncached"] / ns["SuggestZipfCached"]) >> out
+	printf("  }\n}\n") >> out
+}
+' "$TMP"
+
+echo "bench_serve: wrote $OUT"
+
+awk '
+/"(discover|suggest)_cached_vs_uncached":/ {
+	key = $1
+	gsub(/[":,]/, "", key)
+	val = $2
+	gsub(/,/, "", val)
+	gated++
+	if (val + 0 >= 1.5) {
+		printf("bench_serve: OK   %s = %s\n", key, val)
+	} else {
+		printf("bench_serve: FAIL %s = %s (want >= 1.5)\n", key, val)
+		failed++
+	}
+}
+END {
+	if (gated != 2) {
+		printf("bench_serve: FAIL expected 2 gated ratios, found %d\n", gated)
+		exit 1
+	}
+	if (failed > 0) exit 1
+}
+' "$OUT"
+
+echo "bench_serve: OK ($OUT)"
