@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench benchgate bench-serve soak fmt-check lint ci clean
+.PHONY: build test race vet verify bench benchgate bench-serve soak crash-soak fmt-check lint ci clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ bench-serve:
 soak:
 	sh tools/soak.sh
 
+# Crash-safety soak: race-built navserver in journal mode while
+# `lakenav ingest` commits batches under kill -9 and torn-tail
+# injection; fails unless the served generation hash matches the
+# recovered journal exactly (tools/crash_soak.sh).
+crash-soak:
+	sh tools/crash_soak.sh
+
 # Invariant analyzer (cmd/lakelint): enforces the determinism, caching,
 # and context contracts documented in DESIGN.md §10 over every package.
 # CI passes LAKELINT_FLAGS="-json lakelint.json" to keep an artifact.
@@ -64,6 +71,7 @@ ci: fmt-check lint verify
 	sh tools/benchgate.sh BENCH_ci.json
 	BENCHTIME=50ms sh tools/bench_serve.sh BENCH_serve_ci.json
 	SOAK_DURATION=10s sh tools/soak.sh soak-artifacts
+	sh tools/crash_soak.sh crash-soak-artifacts
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"os"
+	"strings"
+)
+
+// atomicfunnel enforces the crash-safety write funnel (atomicio): in
+// the packages that own durable artifacts — the library root and
+// everything under internal/ — files are written only through
+// internal/atomicio (temp + fsync + rename + directory fsync, or the
+// append path with its own sync), so a crash can never leave a
+// half-written lake, organization, checkpoint, or journal behind.
+// Direct os.Create, os.WriteFile, os.Rename, or write-mode os.OpenFile
+// calls are violations. internal/atomicio is the funnel itself and
+// internal/faultinject deliberately produces torn files for recovery
+// tests; both are exempt, as are the cmd/ packages, whose reports and
+// NDJSON streams are not durability artifacts.
+var atomicfunnelCheck = &Check{
+	Name: "atomicfunnel",
+	Doc:  "durable files written only through the atomicio funnel",
+	Run:  runAtomicfunnel,
+}
+
+// atomicfunnelWriteFns are the os functions that always imply a write.
+var atomicfunnelWriteFns = map[string]bool{
+	"Create":    true,
+	"WriteFile": true,
+	"Rename":    true,
+}
+
+// atomicfunnelWriteMask are the OpenFile flag bits that imply write
+// intent; the values come from this process's os package, the same
+// platform the module type-checks against.
+const atomicfunnelWriteMask = os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC
+
+// atomicfunnelScoped reports whether the package owns durable state
+// under the funnel contract (matched by path shape so fixture trees
+// can replicate it).
+func atomicfunnelScoped(m *Module, p *Package) bool {
+	rel := strings.TrimPrefix(p.Path, m.Path)
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "internal/atomicio" || rel == "internal/faultinject" {
+		return false
+	}
+	return rel == "" || strings.HasPrefix(rel, "internal/")
+}
+
+func runAtomicfunnel(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if !atomicfunnelScoped(m, p) {
+			continue
+		}
+		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+			where := "package-level declaration"
+			if fd != nil {
+				where = funcKey(fd)
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || pkgNameOf(p, id) != "os" {
+					return true
+				}
+				switch name := sel.Sel.Name; {
+				case atomicfunnelWriteFns[name]:
+					out = append(out, finding(m, call.Pos(), "atomicfunnel",
+						"os.%s in %s bypasses the atomicio durability funnel; write through atomicio so a crash cannot tear the file", name, where))
+				case name == "OpenFile" && atomicfunnelOpenWrites(p, call):
+					out = append(out, finding(m, call.Pos(), "atomicfunnel",
+						"os.OpenFile with write flags in %s bypasses the atomicio durability funnel; use atomicio.OpenAppend (or WriteFile) instead", where))
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// atomicfunnelOpenWrites reports whether an os.OpenFile call opens for
+// writing: any write-intent flag bit set, or flags the checker cannot
+// fold to a constant (conservatively treated as writing — a read-only
+// open has no reason to hide its flags).
+func atomicfunnelOpenWrites(p *Package, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return true
+	}
+	tv, ok := p.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	flags, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return true
+	}
+	return flags&int64(atomicfunnelWriteMask) != 0
+}

@@ -40,6 +40,7 @@ var detrandAllowedWallclock = map[string]bool{
 	"search.run":          true, // wall-clock start stamp for stats.Duration
 	"search.finish":       true, // stats.Duration on the final stats
 	"search.emitProgress": true, // ElapsedMS on progress events
+	"ReoptimizeLocal":     true, // stats.Duration on incremental-apply stats
 }
 
 func runDetrand(m *Module) []Finding {

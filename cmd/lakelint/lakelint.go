@@ -53,6 +53,7 @@ var AllChecks = []*Check{
 	ctxflowCheck,
 	errdropCheck,
 	obsnamesCheck,
+	atomicfunnelCheck,
 }
 
 // RunChecks runs the named checks (nil = all) over a loaded module and

@@ -113,6 +113,10 @@ func TestErrdropFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", 
 
 func TestObsnamesFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "obsnames")) }
 
+func TestAtomicfunnelFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "atomicfunnel"))
+}
+
 // TestRepoClean is the gate that makes the suite mean something: the
 // repository itself must hold every invariant the checks enforce.
 func TestRepoClean(t *testing.T) {

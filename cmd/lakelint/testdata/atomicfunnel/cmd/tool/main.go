@@ -1,0 +1,18 @@
+// Command tool replicates a CLI writing a report stream: cmd/ packages
+// are outside the funnel contract and must not be flagged.
+package main
+
+import "os"
+
+func main() {
+	f, err := os.Create("report.ndjson")
+	if err != nil {
+		os.Exit(1)
+	}
+	if _, err := f.WriteString("{}\n"); err != nil {
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package faultinject replicates the real crash simulator: it exists
+// to produce torn files, so it is exempt from the funnel.
+package faultinject
+
+import "os"
+
+// Truncate writes a deliberately torn copy of a file.
+func Truncate(path string, data []byte, n int) error {
+	if n > len(data) {
+		n = len(data)
+	}
+	return os.WriteFile(path, data[:n], 0o644)
+}

@@ -1,0 +1,55 @@
+// Fixture for the atomicfunnel check: every direct durable-write shape
+// the check must flag in a scoped package, plus the read-side calls it
+// must leave alone. Lines carrying `// want ...` comments are the
+// expected findings; every other line must stay clean.
+package persist
+
+import "os"
+
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicfunnel "os.WriteFile"
+}
+
+func createDirect(path string) (*os.File, error) {
+	return os.Create(path) // want atomicfunnel "os.Create"
+}
+
+func renameDirect(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want atomicfunnel "os.Rename"
+}
+
+func appendDirect(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644) // want atomicfunnel "os.OpenFile with write flags"
+}
+
+func truncateDirect(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644) // want atomicfunnel "os.OpenFile with write flags"
+}
+
+// Flags the checker cannot fold are conservatively write-intent.
+func dynamicFlags(path string, flags int) (*os.File, error) {
+	return os.OpenFile(path, flags, 0o644) // want atomicfunnel "os.OpenFile with write flags"
+}
+
+// Reads never need the funnel.
+func readsAllowed(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// Removal is not a torn-write hazard.
+func cleanupAllowed(path string) error {
+	return os.Remove(path)
+}

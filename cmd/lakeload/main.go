@@ -6,6 +6,7 @@
 //	         [-workers 8] [-rate 100] [-duration 10s] [-seed 1]
 //	         [-zipf 1.1] [-queries 64] [-k 10] [-batch-size 16]
 //	         [-out requests.ndjson] [-wait-ready 30s] [-fail-on-error]
+//	         [-retries 2] [-retry-base 50ms]
 //
 // The operation schedule — which endpoint, which query, which path,
 // which k — is derived entirely from -seed through a xorshift64*
@@ -31,6 +32,14 @@
 // navserver's load-shedding response "overloaded" is counted as shed —
 // deliberate back-pressure, not failure; with -fail-on-error any other
 // non-2xx response fails the run, which is the CI soak gate.
+//
+// Transport errors — connection refused or reset, as during a server
+// restart — are retried with jittered exponential backoff (-retries,
+// -retry-base). HTTP responses never retry. A request that recovers
+// within its budget counts normally and its extra attempts are tallied
+// as retries; one that exhausts the budget counts as a net error, so
+// the summary keeps retried recoveries, shed 503s, and failures as
+// three separate quantities.
 package main
 
 import (
@@ -65,6 +74,8 @@ func main() {
 	waitReady := flag.Duration("wait-ready", 30*time.Second, "wait up to this long for /readyz before starting (0 skips navigation ops)")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 on any non-2xx response that is not a deliberate shed 503")
 	maxOutstanding := flag.Int("max-outstanding", 1024, "outstanding request cap (open mode); excess ticks count as dropped")
+	retries := flag.Int("retries", 2, "additional attempts per request on transport errors (0 disables retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff step; attempt a sleeps base*2^a with jitter")
 	flag.Parse()
 
 	if _, err := url.Parse(*addr); err != nil {
@@ -115,9 +126,11 @@ func main() {
 	}
 
 	runner := &runner{
-		client:  client,
-		base:    strings.TrimRight(*addr, "/"),
-		records: newRecorder(sink),
+		client:    client,
+		base:      strings.TrimRight(*addr, "/"),
+		records:   newRecorder(sink),
+		retries:   *retries,
+		retryBase: *retryBase,
 	}
 	start := time.Now()
 	switch *mode {
@@ -211,6 +224,34 @@ type runner struct {
 	client  *http.Client
 	base    string
 	records *recorder
+	// retries is how many additional attempts a transport error gets
+	// before the request is recorded as a net error. Only errors from
+	// the client itself (connection refused, reset, timeout) retry:
+	// any HTTP response — including a shed 503 — is an answer, and
+	// replaying answered requests would distort the measured stream.
+	retries int
+	// retryBase is the first backoff step; attempt a sleeps
+	// retryBase·2^a scaled by a jitter factor in [0.5, 1].
+	retryBase time.Duration
+	// jitterSeq derives per-sleep jitter (splitmix64 over a shared
+	// counter): lock-free under concurrent workers and free of the
+	// synchronized-retry-storm shape a fixed backoff would produce.
+	jitterSeq atomic.Uint64
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (attempt 0 = first retry).
+func (r *runner) backoff(attempt int) time.Duration {
+	base := r.retryBase
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 20 {
+		attempt = 20 // beyond any real -retries; keeps the shift sane
+	}
+	d := float64(base * (1 << attempt))
+	frac := 0.5 + 0.5*float64(splitmix(r.jitterSeq.Add(1))>>11)/float64(1<<53)
+	return time.Duration(d * frac)
 }
 
 // runClosed drives the closed loop: workers streams of back-to-back
@@ -276,24 +317,38 @@ func (r *runner) runOpen(gen *opGen, rate float64, duration time.Duration, maxOu
 	}
 }
 
-// issue sends one operation and records the outcome.
+// issue sends one operation — retrying transport errors with jittered
+// exponential backoff — and records the outcome. The recorded latency
+// covers the final attempt only; the retry count is recorded alongside
+// so backoff time is attributable, not hidden inside latency.
 func (r *runner) issue(worker int, o op) {
 	var (
-		resp *http.Response
-		err  error
+		resp    *http.Response
+		err     error
+		start   time.Time
+		latency time.Duration
 	)
-	start := time.Now()
-	if o.body == "" {
-		resp, err = r.client.Get(r.base + o.path)
-	} else {
-		resp, err = r.client.Post(r.base+o.path, "application/json", strings.NewReader(o.body))
+	attempt := 0
+	for {
+		start = time.Now()
+		if o.body == "" {
+			resp, err = r.client.Get(r.base + o.path)
+		} else {
+			resp, err = r.client.Post(r.base+o.path, "application/json", strings.NewReader(o.body))
+		}
+		latency = time.Since(start)
+		if err == nil || attempt >= r.retries {
+			break
+		}
+		time.Sleep(r.backoff(attempt))
+		attempt++
 	}
-	latency := time.Since(start)
 	rec := record{
 		TMS:       float64(start.UnixNano()%1e12) / 1e6,
 		Worker:    worker,
 		Op:        o.kind,
 		LatencyMS: float64(latency) / float64(time.Millisecond),
+		Retries:   attempt,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -319,6 +374,7 @@ type record struct {
 	Status    int     `json:"status,omitempty"`
 	LatencyMS float64 `json:"latency_ms"`
 	Shed      bool    `json:"shed,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
 	Error     string  `json:"error,omitempty"`
 }
 
@@ -333,6 +389,7 @@ type recorder struct {
 	shed      int
 	netErrs   int
 	failures  int
+	retries   int
 	total     int
 	dropped   atomic.Int64
 }
@@ -353,6 +410,7 @@ func (r *recorder) add(rec record) {
 	defer r.mu.Unlock()
 	r.total++
 	r.byOp[rec.Op]++
+	r.retries += rec.Retries
 	switch {
 	case rec.Error != "":
 		r.netErrs++
@@ -377,12 +435,16 @@ func (r *recorder) add(rec record) {
 
 // summary is the end-of-run report printed to stdout.
 type summary struct {
-	Requests  int            `json:"requests"`
-	Dropped   int64          `json:"dropped,omitempty"`
-	ByOp      map[string]int `json:"by_op"`
-	ByStatus  map[string]int `json:"by_status"`
-	Shed      int            `json:"shed"`
-	NetErrors int            `json:"net_errors"`
+	Requests int            `json:"requests"`
+	Dropped  int64          `json:"dropped,omitempty"`
+	ByOp     map[string]int `json:"by_op"`
+	ByStatus map[string]int `json:"by_status"`
+	Shed     int            `json:"shed"`
+	// NetErrors counts requests that still had a transport error after
+	// their retry budget; Retries counts the extra attempts spent, so a
+	// flaky-but-recovering link shows up as retries without failures.
+	NetErrors int `json:"net_errors"`
+	Retries   int `json:"retries"`
 	// Failures counts non-2xx responses excluding deliberate shed 503s,
 	// plus transport errors — the CI gate quantity.
 	Failures   int     `json:"failures"`
@@ -406,6 +468,7 @@ func (r *recorder) summarize(elapsed time.Duration) summary {
 		ByStatus:   r.byStatus,
 		Shed:       r.shed,
 		NetErrors:  r.netErrs,
+		Retries:    r.retries,
 		Failures:   r.failures,
 		ElapsedSec: elapsed.Seconds(),
 	}

@@ -255,3 +255,95 @@ func TestOpenLoopSmoke(t *testing.T) {
 		t.Errorf("Failures = %d, want 0", s.Failures)
 	}
 }
+
+// flakyServer kills the connection (a transport error for the client)
+// until failures answers have been killed, then serves 200s.
+func flakyServer(failures int) *httptest.Server {
+	var n atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= int64(failures) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("recorder is not a hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
+		fmt.Fprint(w, `[]`)
+	}))
+}
+
+func TestRetryRecoversFromTransportError(t *testing.T) {
+	srv := flakyServer(2)
+	defer srv.Close()
+	run := &runner{
+		client: srv.Client(), base: srv.URL, records: newRecorder(nil),
+		retries: 3, retryBase: time.Millisecond,
+	}
+	run.issue(0, op{kind: "search", path: "/api/search?q=x"})
+	s := run.records.summarize(time.Second)
+	if s.NetErrors != 0 || s.Failures != 0 {
+		t.Fatalf("recovered request counted as failure: %+v", s)
+	}
+	if s.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", s.Retries)
+	}
+	if s.ByStatus["200"] != 1 {
+		t.Fatalf("ByStatus = %v", s.ByStatus)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv := flakyServer(1 << 30)
+	defer srv.Close()
+	run := &runner{
+		client: srv.Client(), base: srv.URL, records: newRecorder(nil),
+		retries: 2, retryBase: time.Millisecond,
+	}
+	run.issue(0, op{kind: "search", path: "/api/search?q=x"})
+	s := run.records.summarize(time.Second)
+	if s.NetErrors != 1 || s.Failures != 1 {
+		t.Fatalf("exhausted retries not a net error: %+v", s)
+	}
+	if s.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestRetryNeverReplaysHTTPResponses(t *testing.T) {
+	srv, hits := stubServer(true, 1) // every response sheds with 503
+	defer srv.Close()
+	run := &runner{
+		client: srv.Client(), base: srv.URL, records: newRecorder(nil),
+		retries: 5, retryBase: time.Millisecond,
+	}
+	before := hits.Load()
+	run.issue(0, op{kind: "search", path: "/api/search?q=x"})
+	if got := hits.Load() - before; got != 1 {
+		t.Fatalf("shed 503 was retried: %d attempts", got)
+	}
+	s := run.records.summarize(time.Second)
+	if s.Retries != 0 || s.Shed != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestBackoffJitteredExponential(t *testing.T) {
+	run := &runner{retryBase: 10 * time.Millisecond}
+	for attempt := 0; attempt < 4; attempt++ {
+		lo := time.Duration(float64(run.retryBase) * float64(int(1)<<attempt) / 2)
+		hi := run.retryBase * (1 << attempt)
+		for i := 0; i < 50; i++ {
+			if d := run.backoff(attempt); d < lo || d > hi {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+	if (&runner{}).backoff(3) != 0 {
+		t.Fatal("zero base must not sleep")
+	}
+}

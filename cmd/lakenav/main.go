@@ -11,6 +11,8 @@
 //	                 [-progress events.ndjson]
 //	lakenav search -lake lake.json -q "query" [-k N]
 //	lakenav walk -lake lake.json -q "query" [-dims N]
+//	lakenav ingest -lake lake.json -org org.json -journal commits.journal
+//	               [-add table.json]... [-remove name]... [-status] [-export out.json]
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 		err = cmdSearch(os.Args[2:])
 	case "walk":
 		err = cmdWalk(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -62,7 +66,8 @@ commands:
   stats     print lake statistics
   organize  build an organization and report its structure
   search    BM25 keyword search over a lake
-  walk      simulate one navigation toward a query`)
+  walk      simulate one navigation toward a query
+  ingest    commit table add/remove batches to a crash-safe journal`)
 }
 
 func cmdGen(args []string) error {

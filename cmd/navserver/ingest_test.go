@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lakenav"
+	"lakenav/internal/journal"
+	"lakenav/internal/serve"
+)
+
+// ingestServer starts a journal-tailing server over the shared test
+// lake with the given batches already committed.
+func ingestServer(t *testing.T, poll time.Duration, batches ...journal.Batch) (*server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "commits.journal")
+	w, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, org := testLakeAndOrg(t)
+	s := newServer(lakenav.NewSearchEngine(l), 0)
+	s.hist = serve.NewHistory(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := startIngest(ctx, s, l, org, path, poll, lakenav.IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func listGenerations(t *testing.T, s *server) []serve.GenerationInfo {
+	t.Helper()
+	rec := get(t, s.handleGenerations, "/admin/generations")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("generations: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Generations []serve.GenerationInfo `json:"generations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Generations
+}
+
+func TestIngestServesJournaledGenerations(t *testing.T) {
+	s, _ := ingestServer(t, time.Hour,
+		journal.Batch{Add: []journal.Table{
+			{Name: "harbors", Tags: []string{"fisheries", "port"}, Columns: []journal.Column{
+				{Name: "dock", Values: []string{"salmon pier", "trawler berth"}},
+			}},
+		}},
+		journal.Batch{Remove: []string{"transit"}},
+	)
+
+	gens := listGenerations(t, s)
+	if len(gens) != 3 {
+		t.Fatalf("generations = %+v", gens)
+	}
+	if !gens[0].Current || gens[0].Seq != 2 {
+		t.Fatalf("newest generation %+v not current", gens[0])
+	}
+	for _, g := range gens {
+		if g.Hash == "" {
+			t.Fatalf("generation %d has no hash", g.Seq)
+		}
+	}
+	// Batch 2 removed transit; the served generation must not find it,
+	// and navigation must work off the frozen organization.
+	if rec := get(t, s.handleSearch, "/api/search?q=night+bus"); rec.Code != http.StatusOK {
+		t.Fatalf("search: %d", rec.Code)
+	} else {
+		var tables []string
+		if err := json.Unmarshal(rec.Body.Bytes(), &tables); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range tables {
+			if name == "transit" {
+				t.Fatal("removed table still served by search")
+			}
+		}
+	}
+	if rec := get(t, s.handleNode, "/api/node"); rec.Code != http.StatusOK {
+		t.Fatalf("node: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestIngestRollbackAndRepublish(t *testing.T) {
+	s, _ := ingestServer(t, time.Hour,
+		journal.Batch{Remove: []string{"transit"}},
+	)
+	before := s.snapshot().Generation()
+
+	rec := post(t, s.handleRollback, "/admin/rollback?gen=0", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rollback: %d %s", rec.Code, rec.Body)
+	}
+	if g := s.snapshot().Generation(); g == before {
+		t.Fatal("rollback did not swap in a fresh snapshot")
+	}
+	// Generation 0 still contains transit.
+	var tables []string
+	if err := json.Unmarshal(get(t, s.handleSearch, "/api/search?q=night+bus").Body.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range tables {
+		if name == "transit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rolled-back generation does not serve the pre-removal lake")
+	}
+	gens := listGenerations(t, s)
+	for _, g := range gens {
+		if g.Current != (g.Seq == 0) {
+			t.Fatalf("current marker wrong after rollback: %+v", gens)
+		}
+	}
+
+	// Error paths.
+	if rec := post(t, s.handleRollback, "/admin/rollback?gen=99", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("rollback to unretained generation: %d", rec.Code)
+	}
+	if rec := post(t, s.handleRollback, "/admin/rollback?gen=x", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("rollback with bad gen: %d", rec.Code)
+	}
+	if rec := get(t, s.handleRollback, "/admin/rollback?gen=0"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET rollback: %d", rec.Code)
+	}
+}
+
+func TestIngestPollPicksUpNewBatchesAndToleratesTornTail(t *testing.T) {
+	s, path := ingestServer(t, 5*time.Millisecond)
+	if gens := listGenerations(t, s); len(gens) != 1 || gens[0].Seq != 0 {
+		t.Fatalf("initial generations = %+v", gens)
+	}
+	// Commit a batch from a second writer (the `lakenav ingest` role),
+	// then append garbage simulating a writer killed mid-record: the
+	// committed prefix must be served, the torn tail ignored.
+	w, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.Batch{Add: []journal.Table{
+		{Name: "mills", Tags: []string{"agriculture"}, Columns: []journal.Column{
+			{Name: "mill", Values: []string{"stone mill", "grain silo"}},
+		}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0xff, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gens := listGenerations(t, s)
+		if gens[0].Seq == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poll never published the new batch: %+v", gens)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var tables []string
+	if err := json.Unmarshal(get(t, s.handleSearch, "/api/search?q=stone+mill").Body.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || tables[0] != "mills" {
+		t.Fatalf("search after poll = %v", tables)
+	}
+}
+
+func TestAdminEndpointsWithoutJournal(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s.handleGenerations, "/admin/generations"); rec.Code != http.StatusNotFound {
+		t.Fatalf("generations without -journal: %d", rec.Code)
+	}
+	if rec := post(t, s.handleRollback, "/admin/rollback?gen=0", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("rollback without -journal: %d", rec.Code)
+	}
+}

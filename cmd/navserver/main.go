@@ -47,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -87,6 +88,13 @@ type server struct {
 	sem chan struct{}
 	// metrics is this server's registry, exported via /metrics.
 	metrics *serverMetrics
+	// hist retains recent ingest generations for /admin/generations and
+	// rollback; nil when the server runs without a journal.
+	hist *serve.History
+	// genMu serializes generation swaps (ingest publishes vs. operator
+	// rollbacks) so the history's current marker and the served
+	// snapshot never disagree.
+	genMu sync.Mutex
 }
 
 // serveOptions configures the serving fast path; the zero value means
@@ -154,6 +162,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/api/search", s.handleSearch)
 	mux.HandleFunc("/batch/suggest", s.handleBatchSuggest)
 	mux.HandleFunc("/batch/search", s.handleBatchSearch)
+	mux.HandleFunc("/admin/generations", s.handleGenerations)
+	mux.HandleFunc("/admin/rollback", s.handleRollback)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -174,6 +184,10 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	cacheSize := flag.Int("cache-size", 0, "query-result cache capacity in entries; 0 uses the default, negative disables caching")
 	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum queries per /batch request")
+	journalPath := flag.String("journal", "", "tail this commit journal (written by `lakenav ingest`), serving a frozen generation per committed batch")
+	poll := flag.Duration("poll", 2*time.Second, "journal poll interval (with -journal)")
+	generations := flag.Int("generations", 5, "ingest generations retained for /admin/rollback (with -journal)")
+	reoptimize := flag.Bool("reoptimize", false, "run a localized, deterministically seeded search after each ingested batch (with -journal)")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -186,6 +200,12 @@ func main() {
 		cacheSize: *cacheSize,
 		maxBatch:  *maxBatch,
 	})
+	if *journalPath != "" {
+		// Allocated before the listener starts so request handlers never
+		// observe the field changing.
+		s.hist = serve.NewHistory(*generations)
+	}
+	ingestCfg := lakenav.IngestConfig{Reoptimize: *reoptimize, Seed: 1, Workers: *workers}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -196,7 +216,15 @@ func main() {
 		if err != nil {
 			log.Fatal("navserver: ", err)
 		}
-		s.setOrganization(org)
+		if *journalPath != "" {
+			// Serving switches to frozen generations: the working lake and
+			// organization belong to the ingester from here on.
+			if err := startIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
+				log.Fatal("navserver: ingest: ", err)
+			}
+		} else {
+			s.setOrganization(org)
+		}
 	} else {
 		cfg := lakenav.DefaultConfig()
 		cfg.Dimensions = *dims
@@ -216,7 +244,14 @@ func main() {
 				log.Printf("navserver: organize: %v (navigation unavailable; search still served)", err)
 				return
 			}
-			s.setOrganization(org)
+			if *journalPath != "" {
+				if err := startIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
+					log.Printf("navserver: ingest: %v (serving the freshly built organization only)", err)
+					s.setOrganization(org)
+				}
+			} else {
+				s.setOrganization(org)
+			}
 			if org.Truncated() {
 				log.Printf("organization build interrupted; serving best-so-far (%d dimensions)", org.Dimensions())
 				return
@@ -307,7 +342,10 @@ func logware(next http.Handler) http.Handler {
 func (s *server) limitware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/readyz", "/metrics":
+		case "/healthz", "/readyz", "/metrics", "/admin/generations", "/admin/rollback":
+			// Probes, metrics, and generation admin bypass shedding: an
+			// overloaded server must stay observable, and overload is
+			// exactly when an operator may need to roll a bad batch back.
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -2,6 +2,7 @@ package atomicio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -181,5 +182,94 @@ func TestFailingWriterBudget(t *testing.T) {
 	}
 	if sink.String() != "abcde" {
 		t.Errorf("sink holds %q, want %q", sink.String(), "abcde")
+	}
+}
+
+// The rename is only durable once the parent directory is fsynced; a
+// failing directory sync must surface as a WriteFile error instead of
+// being silently dropped (the pre-fix behavior). The failure is
+// injected through the package-level syncDir hook, standing in for a
+// power-loss-prone disk that faultinject cannot reach below the
+// filesystem API.
+func TestWriteFileDirSyncFailurePropagates(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	injected := fmt.Errorf("injected dir fsync failure")
+	syncDir = func(dir string) error { return injected }
+
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "payload")
+		return werr
+	})
+	if err == nil {
+		t.Fatal("failing directory fsync reported success")
+	}
+	if !errors.Is(err, injected) {
+		t.Errorf("error %v does not wrap the injected dir fsync failure", err)
+	}
+}
+
+// An "unsupported" directory fsync (EINVAL/ENOTSUP, as some
+// filesystems return) is not a durability failure: the rename is still
+// atomic, so WriteFile must succeed.
+func TestWriteFileDirSyncUnsupportedIgnored(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	calls := 0
+	syncDir = func(dir string) error {
+		calls++
+		return orig(dir)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "payload")
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("syncDir called %d times, want 1", calls)
+	}
+	// And the EINVAL path specifically: wrap the real sync in one that
+	// reports EINVAL, which the default implementation must swallow.
+	if err := (func() error {
+		d := t.TempDir()
+		return SyncDir(d)
+	})(); err != nil {
+		t.Errorf("SyncDir on a plain tempdir: %v", err)
+	}
+}
+
+func TestOpenAppendAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	f, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(f, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening must land at the end, not clobber.
+	f, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(f, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "onetwo" {
+		t.Errorf("content %q, want %q", got, "onetwo")
 	}
 }

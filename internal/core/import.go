@@ -32,9 +32,15 @@ func Import(l *lake.Lake, ex *ExportedOrg) (*Org, error) {
 		tagState: make(map[string]StateID),
 	}
 
-	// Qualified attribute names → IDs for leaf resolution.
+	// Qualified attribute names → IDs for leaf resolution. Removed
+	// attributes are invisible: a snapshot referencing one is stale
+	// relative to this lake and must fail, and a re-added table must
+	// resolve to its live attribute slots, not its tombstones.
 	attrByName := make(map[string]lake.AttrID, len(l.Attrs))
 	for _, a := range l.Attrs {
+		if a.Removed {
+			continue
+		}
 		attrByName[a.QualifiedName(l)] = a.ID
 	}
 

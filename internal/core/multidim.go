@@ -331,8 +331,16 @@ func (m *MultiDim) Effectiveness() float64 {
 	}
 	probs := m.AttrProbs()
 	var sum float64
+	live := 0
 	for _, t := range m.Lake.Tables {
+		if t.Removed {
+			continue
+		}
 		sum += m.TableProb(t, probs)
+		live++
 	}
-	return sum / float64(len(m.Lake.Tables))
+	if live == 0 {
+		return 0
+	}
+	return sum / float64(live)
 }

@@ -76,7 +76,12 @@ func EvaluateSuccess(l *lake.Lake, attrProbs map[lake.AttrID]float64, theta floa
 	// Success per table (Sec 4.2's table success probability).
 	res := &SuccessResult{PerTable: make([]float64, len(l.Tables))}
 	var sum float64
+	live := 0
 	for ti, t := range l.Tables {
+		if t.Removed {
+			continue
+		}
+		live++
 		fail := 1.0
 		for _, a := range t.Attrs {
 			if s, ok := attrSuccess[a]; ok {
@@ -88,8 +93,8 @@ func EvaluateSuccess(l *lake.Lake, attrProbs map[lake.AttrID]float64, theta floa
 	}
 	res.Sorted = append([]float64(nil), res.PerTable...)
 	sort.Float64s(res.Sorted)
-	if len(l.Tables) > 0 {
-		res.Mean = sum / float64(len(l.Tables))
+	if live > 0 {
+		res.Mean = sum / float64(live)
 	}
 	return res
 }

@@ -76,6 +76,24 @@ func TornCopy(src, dst string, fraction float64) error {
 	return nil
 }
 
+// CorruptByte flips every bit of the byte at offset off in place,
+// simulating silent media corruption (the kind a CRC exists to catch)
+// rather than a torn write.
+func CorruptByte(path string, off int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultinject: corrupt %s: %w", path, err)
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("faultinject: corrupt %s: offset %d beyond size %d", path, off, len(data))
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("faultinject: corrupt %s: %w", path, err)
+	}
+	return nil
+}
+
 // SlowReader delays every Read by Delay, simulating a saturated or
 // failing disk / network volume.
 type SlowReader struct {

@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadJournal throws arbitrary bytes at the record decoder. The
+// invariants: never panic, never claim a valid prefix longer than the
+// input, and the valid prefix must re-decode to the same batches — a
+// decoded journal is a fixed point.
+func FuzzReadJournal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(magic[:4])
+	f.Add([]byte("not a journal at all"))
+	var seeded bytes.Buffer
+	seeded.Write(magic[:])
+	for _, b := range []Batch{
+		{Add: []Table{{Name: "t1", Tags: []string{"a"}, Columns: []Column{{Name: "c", Values: []string{"v"}}}}}},
+		{Remove: []string{"t1"}},
+	} {
+		rec, err := encode(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeded.Write(rec)
+	}
+	f.Add(seeded.Bytes())
+	f.Add(seeded.Bytes()[:seeded.Len()-5])
+	f.Add(append(seeded.Bytes(), 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, valid, err := Decode(data)
+		if err != nil {
+			if len(batches) != 0 || valid != 0 {
+				t.Fatalf("error with partial results: %d batches, valid=%d", len(batches), valid)
+			}
+			return
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0, %d]", valid, len(data))
+		}
+		again, validAgain, err := Decode(data[:valid])
+		if err != nil {
+			t.Fatalf("valid prefix failed to re-decode: %v", err)
+		}
+		if validAgain != valid {
+			t.Fatalf("re-decode valid prefix %d, want %d", validAgain, valid)
+		}
+		if !reflect.DeepEqual(again, batches) {
+			t.Fatal("re-decode of valid prefix changed the batches")
+		}
+	})
+}

@@ -51,6 +51,11 @@ type Attribute struct {
 	EmbCount int
 	// Coverage records what fraction of the domain had embeddings.
 	Coverage embedding.CoverageStats
+
+	// Removed marks a tombstone: the attribute's table was removed from
+	// the lake, but the slot stays so dense IDs remain stable. Consumers
+	// iterating Attrs must skip removed entries.
+	Removed bool
 }
 
 // QualifiedName returns "table.attribute" for display, mirroring the
@@ -67,6 +72,10 @@ type Table struct {
 	// inherit all of them.
 	Tags  []string
 	Attrs []AttrID
+
+	// Removed marks a tombstone (see Attribute.Removed); the table keeps
+	// its dense slot but is no longer part of the lake's content.
+	Removed bool
 }
 
 // Lake is an in-memory data lake.
@@ -181,11 +190,11 @@ func (l *Lake) TextTagAttrs(tag string) []AttrID {
 	return out
 }
 
-// TextAttrs returns the IDs of all text attributes.
+// TextAttrs returns the IDs of all live text attributes.
 func (l *Lake) TextAttrs() []AttrID {
 	var out []AttrID
 	for _, a := range l.Attrs {
-		if a.Text {
+		if a.Text && !a.Removed {
 			out = append(out, a.ID)
 		}
 	}
@@ -245,6 +254,9 @@ func IsTextDomain(values []string) bool {
 func (l *Lake) ComputeTopics(model embedding.Model) {
 	l.dim = model.Dim()
 	for _, a := range l.Attrs {
+		if a.Removed {
+			continue
+		}
 		run := vector.NewRunning(model.Dim())
 		var cov embedding.CoverageStats
 		for _, val := range a.Values {
@@ -314,10 +326,21 @@ func (l *Lake) Validate() error {
 			return fmt.Errorf("lake: attribute %q has ID %d at index %d", a.Name, a.ID, i)
 		}
 	}
+	for i, a := range l.Attrs {
+		if a.Removed && !l.Tables[a.Table].Removed {
+			return fmt.Errorf("lake: attribute %d removed but its table %q is live", i, l.Tables[a.Table].Name)
+		}
+		if !a.Removed && l.Tables[a.Table].Removed {
+			return fmt.Errorf("lake: attribute %d live but its table %q is removed", i, l.Tables[a.Table].Name)
+		}
+	}
 	for tag, ids := range l.tagAttrs {
 		for _, id := range ids {
 			if int(id) < 0 || int(id) >= len(l.Attrs) {
 				return fmt.Errorf("lake: tag %q references attribute %d out of range", tag, id)
+			}
+			if l.Attrs[id].Removed {
+				return fmt.Errorf("lake: tag %q references removed attribute %d", tag, id)
 			}
 		}
 	}

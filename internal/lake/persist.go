@@ -31,6 +31,9 @@ type jsonAttr struct {
 func (l *Lake) WriteJSON(w io.Writer) error {
 	out := jsonLake{Tables: make([]jsonTable, 0, len(l.Tables))}
 	for _, t := range l.Tables {
+		if t.Removed {
+			continue
+		}
 		jt := jsonTable{Name: t.Name, Tags: t.Tags}
 		for _, aid := range t.Attrs {
 			a := l.Attrs[aid]

@@ -30,11 +30,15 @@ type Stats struct {
 
 // ComputeStats derives Stats from l.
 func ComputeStats(l *Lake) Stats {
-	s := Stats{Tables: len(l.Tables), Attrs: len(l.Attrs), Tags: len(l.tags)}
+	s := Stats{Tags: len(l.tags)}
 	tagsPer := make([]float64, 0, len(l.Tables))
 	attrsPer := make([]float64, 0, len(l.Tables))
 	withText := 0
 	for _, t := range l.Tables {
+		if t.Removed {
+			continue
+		}
+		s.Tables++
 		tagsPer = append(tagsPer, float64(len(t.Tags)))
 		attrsPer = append(attrsPer, float64(len(t.Attrs)))
 		hasText := false
@@ -51,6 +55,10 @@ func ComputeStats(l *Lake) Stats {
 	var covSum float64
 	covN := 0
 	for _, a := range l.Attrs {
+		if a.Removed {
+			continue
+		}
+		s.Attrs++
 		if !a.Text {
 			continue
 		}
@@ -68,8 +76,8 @@ func ComputeStats(l *Lake) Stats {
 	}
 	s.TagsPerTable = stats.Summarize(tagsPer)
 	s.AttrsPerTable = stats.Summarize(attrsPer)
-	if len(l.Tables) > 0 {
-		s.TablesWithTextAttr = float64(withText) / float64(len(l.Tables))
+	if s.Tables > 0 {
+		s.TablesWithTextAttr = float64(withText) / float64(s.Tables)
 	}
 	if covN > 0 {
 		s.MeanTokenCoverage = covSum / float64(covN)

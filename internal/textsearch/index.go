@@ -169,6 +169,9 @@ func (x *Index) search(terms []weightedTerm, k int) []Result {
 func IndexLake(l *lake.Lake) *Index {
 	x := NewIndex()
 	for _, t := range l.Tables {
+		if t.Removed {
+			continue
+		}
 		fields := make([]string, 0, 2+2*len(t.Attrs))
 		fields = append(fields, t.Name)
 		for _, tag := range t.Tags {

@@ -91,7 +91,7 @@ func (l *Lake) AddTable(name string, tags []string, cols ...Column) {
 // of sparsely tagged tables.
 func (l *Lake) AddTag(table, tag string) bool {
 	for _, t := range l.l.Tables {
-		if t.Name == table {
+		if !t.Removed && t.Name == table {
 			l.l.AddTag(t.ID, tag)
 			l.dirty = true
 			return true
@@ -128,8 +128,16 @@ func LoadJSON(path string, opts ...Option) (*Lake, error) {
 // SaveJSON writes the lake to path.
 func (l *Lake) SaveJSON(path string) error { return l.l.SaveFile(path) }
 
-// Tables returns the number of tables.
-func (l *Lake) Tables() int { return len(l.l.Tables) }
+// Tables returns the number of live tables.
+func (l *Lake) Tables() int {
+	n := 0
+	for _, t := range l.l.Tables {
+		if !t.Removed {
+			n++
+		}
+	}
+	return n
+}
 
 // Attributes returns the number of attributes.
 func (l *Lake) Attributes() int { return len(l.l.Attrs) }
@@ -338,6 +346,9 @@ func (o *Organization) TableSuccess(theta float64) map[string]float64 {
 	res := core.EvaluateSuccess(o.lake.l, o.m.AttrProbs(), theta)
 	out := make(map[string]float64, len(res.PerTable))
 	for i, p := range res.PerTable {
+		if o.lake.l.Tables[i].Removed {
+			continue
+		}
 		out[o.lake.l.Tables[i].Name] = p
 	}
 	return out
@@ -390,9 +401,12 @@ func (o *Organization) DiscoverTopic(dim int, topic vector.Vector) ([]TableDisco
 	}
 	org := o.m.Orgs[dim]
 	attrProbs := org.DiscoveryProbs(topic)
-	out := make([]TableDiscovery, len(o.lake.l.Tables))
-	for i, t := range o.lake.l.Tables {
-		out[i] = TableDiscovery{Table: t.Name, Probability: org.TableProb(t, attrProbs)}
+	out := make([]TableDiscovery, 0, len(o.lake.l.Tables))
+	for _, t := range o.lake.l.Tables {
+		if t.Removed {
+			continue
+		}
+		out = append(out, TableDiscovery{Table: t.Name, Probability: org.TableProb(t, attrProbs)})
 	}
 	return out, nil
 }
