@@ -20,12 +20,14 @@ verify:
 
 # Benchmark snapshot: kernel/evaluator micro-benchmarks with their
 # naive/serial baselines plus the Figure 2 experiments, written to
-# BENCH_pr2.json with speedup ratios (tools/bench.sh).
+# BENCH_pr7.json with speedup ratios, allocs/op, and the runner CPU
+# count the parallel gates key off (tools/bench.sh).
 bench:
 	sh tools/bench.sh
 
-# Gate the kernel-vs-naive speedup ratios in the latest bench snapshot
-# (tools/benchgate.sh). Run `make bench` first, or let `make ci` do both.
+# Gate the kernel-vs-naive speedups, the zero-alloc arena hot path,
+# and (on 4+-core machines) the 4-worker parallel-vs-serial ratios in
+# the latest bench snapshot (tools/benchgate.sh). Run `make bench` first, or let `make ci` do both.
 benchgate:
 	sh tools/benchgate.sh
 

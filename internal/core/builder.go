@@ -48,6 +48,7 @@ func buildBase(l *lake.Lake, cfg BuildConfig) (*Org, []StateID, error) {
 		Root:     -1,
 		leafOf:   make(map[lake.AttrID]StateID),
 		tagState: make(map[string]StateID),
+		arena:    newTopicArena(l.Dim()),
 	}
 
 	// Collect organized attributes: text, embedded, carrying at least

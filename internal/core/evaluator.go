@@ -42,7 +42,17 @@ type Evaluator struct {
 	// queryNorm[q] caches ‖Topic_q‖₂ for the similarity kernel.
 	queryNorm []float64
 
+	// nStates is len(org.States) when the rows were cached; any growth
+	// of the organization after construction makes every row stale, and
+	// checkFresh fails loudly instead of silently scoring the new states
+	// unreachable.
+	nStates int
+	// reachFlat backs every reach row in one contiguous block (query-
+	// major), so a worker sweeping its query chunk walks sequential
+	// memory.
+	reachFlat []float64
 	// reach[q][stateID]: P(state | query topic) for non-leaf states.
+	// Rows are capped views into reachFlat.
 	reach [][]float64
 	// leafProb[q]: discovery probability of the query's own leaf.
 	leafProb []float64
@@ -64,12 +74,68 @@ type Evaluator struct {
 	savedEff      float64
 	pending       bool
 
-	// repLeaves caches the leaf states of query attributes.
+	// repLeaves caches the leaf states of query attributes. Precomputed
+	// at construction and immutable after, so concurrent probes never
+	// race an initialization.
 	repLeaves map[StateID]bool
+
+	// ws holds one scratch slot per worker; worker w (and only worker w)
+	// uses ws[w], sized serially by ensureScratch before any fork.
+	ws []evalScratch
+
+	// Reevaluate plan scratch, rebuilt serially per call and read-only
+	// inside the worker sweep (see Reevaluate).
+	affectedTopo   []StateID
+	planParents    []StateID
+	planParentOff  []int32
+	planPairStart  []int32
+	planPairParent []int32
+	planPairIdx    []int32
+	parentSlot     []int32
+	parentSlotGen  []uint64
+	planGen        uint64
 
 	// Instrumentation for Figure 3.
 	LastStatesVisited int
 	LastAttrsVisited  int
+}
+
+// evalScratch is one worker's private buffers for the zero-allocation
+// kernels: probs holds one transition distribution (cap ≥ the widest
+// fan-out), trans holds the flat per-plan transition table Reevaluate
+// fills per query.
+type evalScratch struct {
+	probs []float64
+	trans []float64
+}
+
+// ensureScratch guarantees scratch slots 0..workers-1 exist with the
+// required capacities. It runs serially before worker forks; workers
+// never resize their slot.
+func (ev *Evaluator) ensureScratch(workers, probsLen, transLen int) {
+	for len(ev.ws) < workers {
+		ev.ws = append(ev.ws, evalScratch{})
+	}
+	for w := 0; w < workers; w++ {
+		if cap(ev.ws[w].probs) < probsLen {
+			ev.ws[w].probs = make([]float64, probsLen)
+		}
+		if cap(ev.ws[w].trans) < transLen {
+			ev.ws[w].trans = make([]float64, transLen)
+		}
+	}
+}
+
+// checkFresh fails loudly when the organization grew states after this
+// evaluator cached its reach rows: the rows cover only the states that
+// existed at construction, so evaluating against a grown organization
+// would silently score every new state unreachable. Growth (e.g.
+// ApplyLakeBatch) requires a fresh evaluator — exactly what
+// ReoptimizeLocal builds.
+func (ev *Evaluator) checkFresh(op string) {
+	if len(ev.org.States) != ev.nStates {
+		panic(fmt.Sprintf("core: %s on a stale evaluator: organization has %d states, evaluator cached %d — rebuild the evaluator after adding states", op, len(ev.org.States), ev.nStates))
+	}
 }
 
 type savedCell struct {
@@ -132,31 +198,43 @@ func NewEvaluatorWorkers(org *Org, repFraction float64, rng *rand.Rand, workers 
 		ev.queryNorm[q] = vector.Norm(ev.queries[q].Topic)
 	}
 
-	ev.reach = make([][]float64, len(ev.queries))
-	ev.leafProb = make([]float64, len(ev.queries))
-	ev.leafDirty = make([]bool, len(ev.queries))
-	ev.leafNew = make([]float64, len(ev.queries))
-	// Warm the caches the workers share read-only; computing them lazily
-	// inside the pool would race.
+	// Precompute the representative-leaf set so concurrent probes
+	// (IsRepresentativeLeaf) read an immutable map instead of racing a
+	// lazy first-call initialization.
+	ev.repLeaves = make(map[StateID]bool, len(ev.queries))
+	for _, q := range ev.queries {
+		if leaf := org.Leaf(q.Attr); leaf >= 0 {
+			ev.repLeaves[leaf] = true
+		}
+	}
+
+	nq := len(ev.queries)
+	ev.nStates = len(org.States)
+	ev.reachFlat = make([]float64, nq*ev.nStates)
+	ev.reach = make([][]float64, nq)
+	for q := range ev.reach {
+		ev.reach[q] = ev.reachFlat[q*ev.nStates : (q+1)*ev.nStates : (q+1)*ev.nStates]
+	}
+	ev.leafProb = make([]float64, nq)
+	ev.leafDirty = make([]bool, nq)
+	ev.leafNew = make([]float64, nq)
+	// Warm the caches the workers share read-only (topo order and the
+	// CSR adjacency snapshot); computing them lazily inside the pool
+	// would race.
 	org.Topo()
-	parallelFor(len(ev.queries), ev.initWorkers(), func(lo, hi int) {
+	adj := org.adjacency()
+	wk := scaleWorkers(nq*ev.nStates, ev.workers)
+	ev.ensureScratch(wk, adj.maxChildren, 0)
+	parallelForWorkers(nq, wk, func(w, lo, hi int) {
+		probs := ev.ws[w].probs
 		for q := lo; q < hi; q++ {
-			ev.reach[q] = org.reachProbsN(ev.queries[q].Topic, ev.queryNorm[q])
-			ev.leafProb[q] = org.leafProbN(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q])
+			org.reachProbsInto(ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q], probs)
+			ev.leafProb[q] = org.leafProbInto(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q], probs)
 		}
 	})
 	ev.eff = ev.computeEff()
 	metricEvaluatorBuilds.Inc()
 	return ev, nil
-}
-
-// initWorkers sizes the pool for the full per-query reach sweeps of
-// construction: always worth parallelizing unless the instance is tiny.
-func (ev *Evaluator) initWorkers() int {
-	if len(ev.queries)*len(ev.org.States) < serialWorkFloor {
-		return 1
-	}
-	return ev.workers
 }
 
 // SetWorkers adjusts the worker-pool bound for subsequent evaluations;
@@ -178,14 +256,6 @@ func (ev *Evaluator) Approximate() bool { return len(ev.queries) < len(ev.org.At
 // member it stands for — a systematic overestimate the optimizer must
 // not exploit, so such proposals are skipped.
 func (ev *Evaluator) IsRepresentativeLeaf(id StateID) bool {
-	if ev.repLeaves == nil {
-		ev.repLeaves = make(map[StateID]bool, len(ev.queries))
-		for _, q := range ev.queries {
-			if leaf := ev.org.Leaf(q.Attr); leaf >= 0 {
-				ev.repLeaves[leaf] = true
-			}
-		}
-	}
 	return ev.repLeaves[id]
 }
 
@@ -219,23 +289,18 @@ func (ev *Evaluator) computeEff() float64 {
 // therefore the same floating-point result) as a serial pass.
 func (ev *Evaluator) MeanReach() []float64 {
 	metricMeanReaches.Inc()
+	// Cached rows cover exactly the construction-time state set; a grown
+	// organization must fail here, not silently score new states 0.
+	ev.checkFresh("MeanReach")
 	out := make([]float64, len(ev.org.States))
 	if len(ev.queries) == 0 {
 		return out
 	}
 	inv := 1 / float64(len(ev.queries))
-	workers := ev.workers
-	if len(ev.queries)*len(out) < serialWorkFloor {
-		workers = 1
-	}
-	parallelFor(len(out), workers, func(lo, hi int) {
+	parallelFor(len(out), scaleWorkers(len(ev.queries)*len(out), ev.workers), func(lo, hi int) {
 		for q := range ev.queries {
 			reach := ev.reach[q]
-			top := hi
-			if len(reach) < top {
-				top = len(reach)
-			}
-			for id := lo; id < top; id++ {
+			for id := lo; id < hi; id++ {
 				out[id] += reach[id]
 			}
 		}
@@ -257,6 +322,7 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	if ev.pending {
 		panic("core: Reevaluate with uncommitted previous evaluation")
 	}
+	ev.checkFresh("Reevaluate")
 	o := ev.org
 
 	// States whose outgoing transition distributions changed.
@@ -300,18 +366,68 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 		}
 	}
 
-	// Order the affected states topologically.
+	// Order the affected states topologically. Topo() also warms the CSR
+	// adjacency snapshot the workers read.
 	topo := o.Topo()
-	var affectedTopo []StateID
+	adj := o.adjacency()
+	ev.affectedTopo = ev.affectedTopo[:0]
 	for _, id := range topo {
 		if affected[id] {
-			affectedTopo = append(affectedTopo, id)
+			ev.affectedTopo = append(ev.affectedTopo, id)
 		}
 	}
+	affectedTopo := ev.affectedTopo
 	// Eliminated states fall out of Topo; zero their reach explicitly.
 	for _, e := range cs.Eliminated {
 		affected[e] = true
 	}
+
+	// Build the transition plan, serially: the distinct parents of the
+	// affected states in first-encounter order, each with an offset into
+	// a flat per-worker transition table sized by its fan-out, and per
+	// affected state the (parent, table index) pairs its reach sums
+	// over, with the child's position within the parent's children
+	// resolved once here instead of rescanned per query. The sweep below
+	// then computes every distinct parent's transition distribution
+	// exactly once per query — same distributions, same summation order
+	// as the old per-query lazy cache, without its per-parent map and
+	// slice allocations.
+	ev.planParents = ev.planParents[:0]
+	ev.planParentOff = append(ev.planParentOff[:0], 0)
+	ev.planPairStart = append(ev.planPairStart[:0], 0)
+	ev.planPairParent = ev.planPairParent[:0]
+	ev.planPairIdx = ev.planPairIdx[:0]
+	if ev.parentSlot == nil {
+		ev.parentSlot = make([]int32, ev.nStates)
+		ev.parentSlotGen = make([]uint64, ev.nStates)
+	}
+	ev.planGen++
+	for _, id := range affectedTopo {
+		for _, p := range adj.parentsOf(id) {
+			var slot int32
+			if ev.parentSlotGen[p] == ev.planGen {
+				slot = ev.parentSlot[p]
+			} else {
+				slot = int32(len(ev.planParents))
+				ev.parentSlot[p] = slot
+				ev.parentSlotGen[p] = ev.planGen
+				ev.planParents = append(ev.planParents, StateID(p))
+				ev.planParentOff = append(ev.planParentOff,
+					ev.planParentOff[slot]+int32(len(adj.childrenOf(StateID(p)))))
+			}
+			ci := int32(-1)
+			for i, c := range adj.childrenOf(StateID(p)) {
+				if StateID(c) == id {
+					ci = int32(i)
+					break
+				}
+			}
+			ev.planPairParent = append(ev.planPairParent, p)
+			ev.planPairIdx = append(ev.planPairIdx, ev.planParentOff[slot]+ci)
+		}
+		ev.planPairStart = append(ev.planPairStart, int32(len(ev.planPairParent)))
+	}
+	transLen := int(ev.planParentOff[len(ev.planParentOff)-1])
 
 	ev.savedLeafProb = ev.savedLeafProb[:0]
 	ev.savedEff = ev.eff
@@ -329,28 +445,22 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	} else {
 		ev.savedReach = ev.savedReach[:need]
 	}
-	workers := ev.reevalWorkers(perQuery)
-	parallelFor(len(ev.queries), workers, func(lo, hi int) {
+	workers := scaleWorkers(len(ev.queries)*(perQuery+1), ev.workers)
+	ev.ensureScratch(workers, adj.maxChildren, transLen)
+	parallelForWorkers(len(ev.queries), workers, func(w, lo, hi int) {
+		trans := ev.ws[w].trans[:transLen]
 		for q := lo; q < hi; q++ {
 			topic, topicNorm := ev.queries[q].Topic, ev.queryNorm[q]
 			reach := ev.reach[q]
 			saved := ev.savedReach[q*perQuery : (q+1)*perQuery]
-			transCache := make(map[StateID][]float64, len(changedOut))
+			for pi, p := range ev.planParents {
+				o.transitionsInto(adj, p, topic, topicNorm, trans[ev.planParentOff[pi]:ev.planParentOff[pi+1]])
+			}
 			for i, id := range affectedTopo {
 				saved[i] = savedCell{q, id, reach[id]}
 				var r float64
-				for _, p := range o.States[id].Parents {
-					probs, ok := transCache[p]
-					if !ok {
-						probs = o.childTransitionsN(p, topic, topicNorm)
-						transCache[p] = probs
-					}
-					for i, c := range o.States[p].Children {
-						if c == id {
-							r += reach[p] * probs[i]
-							break
-						}
-					}
+				for k := ev.planPairStart[i]; k < ev.planPairStart[i+1]; k++ {
+					r += reach[ev.planPairParent[k]] * trans[ev.planPairIdx[k]]
 				}
 				reach[id] = r
 			}
@@ -365,21 +475,22 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	// an affected or transition-changed tag state. The workers only fill
 	// per-query scratch; the dirty results are folded into the cache (and
 	// the rollback log) serially in query order below.
-	parallelFor(len(ev.queries), workers, func(lo, hi int) {
+	parallelForWorkers(len(ev.queries), workers, func(w, lo, hi int) {
+		probs := ev.ws[w].probs
 		for q := lo; q < hi; q++ {
 			ev.leafDirty[q] = false
 			leaf := o.Leaf(ev.queries[q].Attr)
 			if leaf < 0 {
 				continue
 			}
-			for _, t := range o.States[leaf].Parents {
-				if affected[t] || changedOut[t] {
+			for _, t := range adj.parentsOf(leaf) {
+				if affected[StateID(t)] || changedOut[StateID(t)] {
 					ev.leafDirty[q] = true
 					break
 				}
 			}
 			if ev.leafDirty[q] {
-				ev.leafNew[q] = o.leafProbN(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q])
+				ev.leafNew[q] = o.leafProbInto(ev.queries[q].Attr, ev.queries[q].Topic, ev.queryNorm[q], ev.reach[q], probs)
 			}
 		}
 	})
@@ -413,14 +524,20 @@ func (ev *Evaluator) Reevaluate(cs *ChangeSet) float64 {
 	return ev.eff
 }
 
-// reevalWorkers sizes the pool for one incremental re-evaluation:
-// serial when the pruned work (cells saved plus leaf checks per query)
-// is too small to amortize goroutine forks.
-func (ev *Evaluator) reevalWorkers(perQuery int) int {
-	if len(ev.queries)*(perQuery+1) < serialWorkFloor {
-		return 1
+// savedReachShrinkCap is the rollback-log capacity (in cells) above
+// which Commit/Rollback consider releasing the backing array: one
+// poorly-pruned re-evaluation must not pin worst-case memory for the
+// evaluator's lifetime.
+const savedReachShrinkCap = 1 << 15
+
+// releaseSavedReach drops the rollback log's backing array once the
+// pending evaluation is resolved, if the capacity is past the
+// high-water threshold and the last evaluation used little of it
+// (steady-state large evaluations keep their buffer).
+func (ev *Evaluator) releaseSavedReach() {
+	if cap(ev.savedReach) > savedReachShrinkCap && len(ev.savedReach) <= cap(ev.savedReach)/4 {
+		ev.savedReach = nil
 	}
-	return ev.workers
 }
 
 // Commit accepts the last Reevaluate. Calling it without a pending
@@ -432,6 +549,7 @@ func (ev *Evaluator) Commit() error {
 		return fmt.Errorf("core: Commit without a pending Reevaluate")
 	}
 	ev.pending = false
+	ev.releaseSavedReach()
 	return nil
 }
 
@@ -452,6 +570,7 @@ func (ev *Evaluator) Rollback() error {
 	}
 	ev.eff = ev.savedEff
 	ev.pending = false
+	ev.releaseSavedReach()
 	return nil
 }
 

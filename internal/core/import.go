@@ -30,6 +30,7 @@ func Import(l *lake.Lake, ex *ExportedOrg) (*Org, error) {
 		Root:     -1,
 		leafOf:   make(map[lake.AttrID]StateID),
 		tagState: make(map[string]StateID),
+		arena:    newTopicArena(l.Dim()),
 	}
 
 	// Qualified attribute names → IDs for leaf resolution. Removed

@@ -234,6 +234,10 @@ func BenchmarkReevaluate(b *testing.B) { benchReevaluate(b, 0, false) }
 // parallelism contribution from the kernel contribution.
 func BenchmarkReevaluateSerial(b *testing.B) { benchReevaluate(b, 1, false) }
 
+// BenchmarkReevaluateW4 pins the pool to four workers — the
+// parallel_vs_serial gate divides Serial by this on 4+-core runners.
+func BenchmarkReevaluateW4(b *testing.B) { benchReevaluate(b, 4, false) }
+
 // BenchmarkReevaluateNaive replays the pre-PR implementation: serial
 // with two norm recomputations per cosine.
 func BenchmarkReevaluateNaive(b *testing.B) { benchReevaluate(b, 1, true) }
@@ -258,6 +262,33 @@ func BenchmarkNewEvaluatorSerial(b *testing.B) {
 		if _, err := NewEvaluatorWorkers(o, 0, nil, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNewEvaluatorW4 is construction pinned to four workers — the
+// other parallel_vs_serial gate numerator.
+func BenchmarkNewEvaluatorW4(b *testing.B) {
+	o := benchOrg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEvaluatorWorkers(o, 0, nil, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransitionsInto measures the zero-allocation arena kernel
+// with caller-owned scratch; -benchmem must report 0 allocs/op.
+func BenchmarkTransitionsInto(b *testing.B) {
+	o := benchOrg(b)
+	states, topic := benchStatesAndTopic(b, o)
+	norm := vector.Norm(topic)
+	adj := o.adjacency()
+	probs := make([]float64, adj.maxChildren)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.transitionsInto(adj, states[i%len(states)], topic, norm, probs)
 	}
 }
 

@@ -18,20 +18,51 @@ func (o *Org) childTransitions(s StateID, topic vector.Vector) []float64 {
 }
 
 // childTransitionsN is childTransitions with the query topic's norm
-// precomputed, the kernel-path entry the evaluator uses: one Dot per
-// child via the cached child norms instead of two Norms and a Dot.
+// precomputed. It allocates its result; hot paths use transitionsInto
+// with caller-owned scratch instead.
 func (o *Org) childTransitionsN(s StateID, topic vector.Vector, topicNorm float64) []float64 {
-	children := o.States[s].Children
+	a := o.adjacency()
+	n := len(a.childrenOf(s))
+	if n == 0 {
+		return nil
+	}
+	return o.transitionsInto(a, s, topic, topicNorm, make([]float64, n))
+}
+
+// transitionsInto is the zero-allocation transition kernel: it computes
+// P(c|s, X, O) for every child of s into the caller-provided scratch
+// (cap(probs) must be at least the fan-out; size it with
+// adjSnapshot.maxChildren) and returns probs resliced to the fan-out,
+// or nil for a childless state. The sweep walks the CSR children run
+// and the flat topic arena directly — contiguous float64 and int32
+// blocks, no *State dereferences — which is what lets evaluator
+// workers scale with cores instead of stalling on cache misses. The
+// arithmetic (CosineNorms per child, max-logit softmax) is identical,
+// in the same order, to the pointer-path fallback, so results are
+// bit-for-bit the same.
+func (o *Org) transitionsInto(a *adjSnapshot, s StateID, topic vector.Vector, topicNorm float64, probs []float64) []float64 {
+	children := a.childrenOf(s)
 	if len(children) == 0 {
 		return nil
 	}
-	probs := make([]float64, len(children))
+	probs = probs[:len(children)]
 	scale := o.Gamma / float64(len(children))
 	maxLogit := math.Inf(-1)
-	for i, c := range children {
-		probs[i] = scale * o.cosToState(c, topic, topicNorm)
-		if probs[i] > maxLogit {
-			maxLogit = probs[i]
+	if ar := o.arena; ar != nil {
+		dim := ar.dim
+		for i, c := range children {
+			off := int(c) * dim
+			probs[i] = scale * vector.CosineNorms(ar.vecs[off:off+dim], topic, ar.norms[c], topicNorm)
+			if probs[i] > maxLogit {
+				maxLogit = probs[i]
+			}
+		}
+	} else {
+		for i, c := range children {
+			probs[i] = scale * o.cosToState(StateID(c), topic, topicNorm)
+			if probs[i] > maxLogit {
+				maxLogit = probs[i]
+			}
 		}
 	}
 	var sum float64
@@ -65,22 +96,36 @@ func (o *Org) ReachProbs(topic vector.Vector) []float64 {
 }
 
 // reachProbsN is ReachProbs with the query topic's norm precomputed.
+// It allocates its result and scratch; hot paths use reachProbsInto.
 func (o *Org) reachProbsN(topic vector.Vector, topicNorm float64) []float64 {
-	reach := make([]float64, len(o.States))
+	a := o.adjacency()
+	return o.reachProbsInto(topic, topicNorm,
+		make([]float64, len(o.States)), make([]float64, a.maxChildren))
+}
+
+// reachProbsInto is the zero-allocation reach sweep: it fills reach
+// (len(o.States), zeroed here) with P(s|X, O) using probs as the
+// transition scratch (cap ≥ adjacency().maxChildren) and returns
+// reach. Only interior states propagate — leaves are terminal and tag
+// states' children are leaves — exactly the skips the allocating path
+// performed, so results are bit-identical.
+func (o *Org) reachProbsInto(topic vector.Vector, topicNorm float64, reach, probs []float64) []float64 {
+	a := o.adjacency()
+	reach = reach[:len(o.States)]
+	for i := range reach {
+		reach[i] = 0
+	}
 	reach[o.Root] = 1
+	interior := uint8(KindInterior)
+	leaf := uint8(KindLeaf)
 	for _, id := range o.Topo() {
-		s := o.States[id]
-		if s.Kind == KindLeaf || reach[id] == 0 {
+		if a.kinds[id] != interior || reach[id] == 0 {
 			continue
 		}
-		if s.Kind == KindTag {
-			// Children are leaves; no propagation needed.
-			continue
-		}
-		probs := o.childTransitionsN(id, topic, topicNorm)
-		for i, c := range s.Children {
-			if o.States[c].Kind != KindLeaf {
-				reach[c] += reach[id] * probs[i]
+		p := o.transitionsInto(a, id, topic, topicNorm, probs)
+		for i, c := range a.childrenOf(id) {
+			if a.kinds[c] != leaf {
+				reach[c] += reach[id] * p[i]
 			}
 		}
 	}
@@ -95,21 +140,30 @@ func (o *Org) LeafProb(a lake.AttrID, topic vector.Vector, reach []float64) floa
 	return o.leafProbN(a, topic, vector.Norm(topic), reach)
 }
 
-// leafProbN is LeafProb with the query topic's norm precomputed.
+// leafProbN is LeafProb with the query topic's norm precomputed. It
+// allocates transition scratch; hot paths use leafProbInto.
 func (o *Org) leafProbN(a lake.AttrID, topic vector.Vector, topicNorm float64, reach []float64) float64 {
+	adj := o.adjacency()
+	return o.leafProbInto(a, topic, topicNorm, reach, make([]float64, adj.maxChildren))
+}
+
+// leafProbInto is the zero-allocation form of leafProbN: probs is the
+// caller-owned transition scratch (cap ≥ adjacency().maxChildren).
+func (o *Org) leafProbInto(a lake.AttrID, topic vector.Vector, topicNorm float64, reach, probs []float64) float64 {
 	leaf, ok := o.leafOf[a]
 	if !ok {
 		return 0
 	}
+	adj := o.adjacency()
 	var p float64
-	for _, t := range o.States[leaf].Parents {
+	for _, t := range adj.parentsOf(leaf) {
 		if reach[t] == 0 {
 			continue
 		}
-		probs := o.childTransitionsN(t, topic, topicNorm)
-		for i, c := range o.States[t].Children {
-			if c == leaf {
-				p += reach[t] * probs[i]
+		tp := o.transitionsInto(adj, StateID(t), topic, topicNorm, probs)
+		for i, c := range adj.childrenOf(StateID(t)) {
+			if StateID(c) == leaf {
+				p += reach[t] * tp[i]
 				break
 			}
 		}

@@ -85,7 +85,11 @@ type State struct {
 	// mean is the state's topic vector μ_s (Definitions 4–5). Nil for
 	// leaves (they use the attribute's precomputed topic).
 	run *vector.Running
-	// topic caches run's mean (or the attribute topic for leaves).
+	// arn, when non-nil, is the owning Org's flat topic arena; setTopic
+	// stores the vector there and keeps topic as a view into it.
+	arn *topicArena
+	// topic caches run's mean (or the attribute topic for leaves). When
+	// arn is non-nil it is a view into the arena's contiguous block.
 	topic vector.Vector
 	// topicNorm caches ‖topic‖₂ so every cosine against the state costs
 	// one Dot (vector.CosineNorms) instead of two Norms and a Dot. It is
@@ -106,8 +110,20 @@ func (s *State) Topic() vector.Vector { return s.topic }
 func (s *State) TopicNorm() float64 { return s.topicNorm }
 
 // setTopic installs a new topic vector and its cached norm. All topic
-// writes go through here so the norm can never go stale.
+// writes go through here so the norm can never go stale. Arena-backed
+// states store the values in the Org's contiguous block and keep topic
+// as a view into it; dimension-mismatched or nil vectors (possible
+// only transiently, e.g. an empty Running mean) fall back to aliasing.
 func (s *State) setTopic(t vector.Vector) {
+	if s.arn != nil {
+		if len(t) == s.arn.dim {
+			s.topic, s.topicNorm = s.arn.install(int(s.ID), t)
+			return
+		}
+		// Non-resident topic: zero the slot so the arena fast path
+		// scores this state cos 0, matching the nil/zero-norm fallback.
+		s.arn.clear(int(s.ID))
+	}
 	s.topic = t
 	s.topicNorm = vector.Norm(t)
 }
@@ -170,12 +186,21 @@ type Org struct {
 	// incremental evaluator.
 	track *ChangeSet
 
+	// arena, when non-nil, is the flat topic arena holding every state's
+	// topic vector in one contiguous block (see arena.go). Created at
+	// the construction funnels (buildBase, Import); grown only by
+	// newState.
+	arena *topicArena
+
 	// topo caches a topological order over live non-leaf states; nil
 	// when invalidated by a structural change.
 	topo []StateID
 	// levels caches each state's shortest-path depth from the root; nil
 	// when invalidated.
 	levels []int
+	// adj caches the flattened CSR adjacency snapshot the kernels sweep
+	// (see adjacency.go); nil when invalidated.
+	adj *adjSnapshot
 }
 
 // DefaultGamma is the navigation-model γ used when a config does not
@@ -232,10 +257,16 @@ func (o *Org) LiveStates() int {
 	return n
 }
 
-// newState appends a fresh state and returns it.
+// newState appends a fresh state and returns it. With an arena, the
+// state's slot is materialized up front; if growth moved the backing
+// array, every existing topic view is rebound before the new state can
+// be observed.
 func (o *Org) newState(kind Kind) *State {
-	s := &State{ID: StateID(len(o.States)), Kind: kind, Attr: -1}
+	s := &State{ID: StateID(len(o.States)), Kind: kind, Attr: -1, arn: o.arena}
 	o.States = append(o.States, s)
+	if o.arena != nil && o.arena.grow(len(o.States)) {
+		o.rebindTopics()
+	}
 	return s
 }
 
@@ -270,6 +301,7 @@ func removeID(ids []StateID, id StateID) []StateID {
 func (o *Org) invalidate() {
 	o.topo = nil
 	o.levels = nil
+	o.adj = nil
 }
 
 // hasEdge reports whether parent → child exists.
@@ -394,59 +426,6 @@ func (o *Org) unlinkChild(parent, child StateID) []supportDelta {
 	return o.propagateRemove(parent, o.domainAttrs(child))
 }
 
-// Topo returns a topological order over all live states reachable from
-// the root (parents before children), computing and caching it on
-// demand. It panics if a cycle is detected — operations are responsible
-// for never creating one.
-func (o *Org) Topo() []StateID {
-	if o.topo != nil {
-		return o.topo
-	}
-	// Kahn's algorithm restricted to states reachable from the root.
-	reach := make(map[StateID]bool)
-	stack := []StateID{o.Root}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if reach[id] {
-			continue
-		}
-		reach[id] = true
-		for _, c := range o.States[id].Children {
-			if !reach[c] {
-				stack = append(stack, c)
-			}
-		}
-	}
-	indeg := make(map[StateID]int, len(reach))
-	for id := range reach {
-		for _, c := range o.States[id].Children {
-			indeg[c]++
-		}
-	}
-	var queue []StateID
-	if indeg[o.Root] == 0 {
-		queue = append(queue, o.Root)
-	}
-	order := make([]StateID, 0, len(reach))
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		order = append(order, id)
-		for _, c := range o.States[id].Children {
-			indeg[c]--
-			if indeg[c] == 0 {
-				queue = append(queue, c)
-			}
-		}
-	}
-	if len(order) != len(reach) {
-		panic(fmt.Sprintf("core: cycle detected (%d of %d states ordered)", len(order), len(reach)))
-	}
-	o.topo = order
-	return order
-}
-
 // Levels returns each live reachable state's shortest-path depth from
 // the root (root = 0); unreachable or deleted states get -1. Cached
 // until the structure changes.
@@ -541,6 +520,26 @@ func (o *Org) Validate() error {
 		// (the similarity-kernel invariant).
 		if got, want := s.topicNorm, vector.Norm(s.topic); math.Abs(got-want) > 1e-12 {
 			return fmt.Errorf("core: state %d cached topic norm %v, recomputed %v", s.ID, got, want)
+		}
+		// Arena residency: a set topic must be a view into the state's
+		// arena slot, and the slot norm must mirror the cached norm.
+		if s.arn != nil && s.topic != nil {
+			if s.arn != o.arena {
+				return fmt.Errorf("core: state %d bound to a foreign arena", s.ID)
+			}
+			slot := int(s.ID)
+			if slot >= o.arena.slots() {
+				return fmt.Errorf("core: state %d has no arena slot (%d slots)", s.ID, o.arena.slots())
+			}
+			if len(s.topic) != o.arena.dim {
+				return fmt.Errorf("core: state %d topic dim %d, arena dim %d", s.ID, len(s.topic), o.arena.dim)
+			}
+			if &s.topic[0] != &o.arena.vecs[slot*o.arena.dim] {
+				return fmt.Errorf("core: state %d topic view does not alias its arena slot", s.ID)
+			}
+			if o.arena.norms[slot] != s.topicNorm {
+				return fmt.Errorf("core: state %d arena norm %v, cached %v", s.ID, o.arena.norms[slot], s.topicNorm)
+			}
 		}
 		// Support counts must equal the number of children containing
 		// each attribute.

@@ -48,25 +48,66 @@ func parallelFor(n, workers int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	if workers <= 1 {
+		// Inlined serial path: wrapping fn for parallelForWorkers would
+		// allocate a closure, and this path is pinned allocation-free.
+		metricParallelRuns.Inc()
+		metricParallelSerial.Inc()
+		fn(0, n)
+		return
+	}
+	parallelForWorkers(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelForWorkers is parallelFor with the worker's slot index passed
+// to fn, so callers can hand each fork a dedicated scratch buffer
+// (worker w and only worker w touches scratch slot w). Each worker
+// runs exactly one contiguous chunk — one fork per slot — so the slot
+// index is also the fork index. The serial degenerate case runs as
+// slot 0 on the calling goroutine.
+func parallelForWorkers(n, workers int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
 	metricParallelRuns.Inc()
 	if workers <= 1 {
 		metricParallelSerial.Inc()
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
 	metricParallelForks.Add(uint64((n + chunk - 1) / chunk))
 	var wg sync.WaitGroup
+	w := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
 	}
 	wg.Wait()
+}
+
+// scaleWorkers sizes a worker pool to the work at hand: one worker per
+// serialWorkFloor of estimated cells, capped at the configured pool
+// size. Small jobs run serially (coarse chunks beat fine ones: a fork
+// must amortize its scheduling and cache-warmup cost over real work),
+// and each admitted worker is guaranteed at least a floor's worth.
+func scaleWorkers(work, workers int) int {
+	if work < serialWorkFloor || workers <= 1 {
+		return 1
+	}
+	if byWork := work / serialWorkFloor; byWork < workers {
+		return byWork
+	}
+	return workers
 }

@@ -1,42 +1,50 @@
 #!/bin/sh
 # bench.sh — benchmark snapshot. Runs the similarity-kernel and
 # parallel-evaluator micro-benchmarks (each paired with its pre-kernel
-# Naive / single-worker Serial baseline) plus the Figure 2 experiment
-# benchmarks, and writes a JSON snapshot — default BENCH_pr2.json —
-# with raw ns/op and the speedup ratios. `make bench` is the friendly
-# entry point; pass a path to write elsewhere, and set BENCHTIME to
-# trade stability for wall-clock.
+# Naive / single-worker Serial baseline, plus W4 variants pinned to a
+# four-worker pool for the parallel_vs_serial gates) with -benchmem,
+# plus the Figure 2 experiment benchmarks, and writes a JSON snapshot —
+# default BENCH_pr7.json — with raw ns/op, allocs/op, the runner's CPU
+# count, and the speedup ratios. `make bench` is the friendly entry
+# point; pass a path to write elsewhere, and set BENCHTIME to trade
+# stability for wall-clock.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr2.json}
+OUT=${1:-BENCH_pr7.json}
 BENCHTIME=${BENCHTIME:-300ms}
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "==> micro benchmarks (internal/core, -benchtime=$BENCHTIME)"
+echo "==> micro benchmarks (internal/core, -benchtime=$BENCHTIME, cpus=$CPUS)"
 go test ./internal/core/ -run '^$' \
-	-bench '^(BenchmarkChildTransitions(Naive)?|BenchmarkReevaluate(Serial|Naive)?|BenchmarkNewEvaluator(Serial)?)$' \
-	-benchtime="$BENCHTIME" | tee "$TMP"
+	-bench '^(BenchmarkChildTransitions(Naive)?|BenchmarkReevaluate(Serial|Naive|W4)?|BenchmarkNewEvaluator(Serial|W4)?|BenchmarkTransitionsInto)$' \
+	-benchtime="$BENCHTIME" -benchmem | tee "$TMP"
 
 echo "==> Figure 2 benchmarks (-benchtime=1x)"
 go test . -run '^$' -bench '^BenchmarkFigure2(aTagCloud|bSocrata)$' \
 	-benchtime=1x | tee -a "$TMP"
 
-awk -v out="$OUT" -v bt="$BENCHTIME" '
+awk -v out="$OUT" -v bt="$BENCHTIME" -v cpus="$CPUS" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
-	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i - 1)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns[name] = $(i - 1)
+		if ($i == "allocs/op") allocs[name] = $(i - 1)
+	}
 }
 END {
-	nkeys = split("ChildTransitions ChildTransitionsNaive Reevaluate " \
-		"ReevaluateSerial ReevaluateNaive NewEvaluator NewEvaluatorSerial " \
+	nkeys = split("ChildTransitions ChildTransitionsNaive TransitionsInto " \
+		"Reevaluate ReevaluateSerial ReevaluateNaive ReevaluateW4 " \
+		"NewEvaluator NewEvaluatorSerial NewEvaluatorW4 " \
 		"Figure2aTagCloud Figure2bSocrata", keys, " ")
 	printf("{\n") > out
 	printf("  \"benchtime\": \"%s\",\n", bt) >> out
+	printf("  \"cpus\": %d,\n", cpus) >> out
 	printf("  \"ns_per_op\": {") >> out
 	first = 1
 	for (i = 1; i <= nkeys; i++) {
@@ -47,15 +55,25 @@ END {
 		}
 	}
 	printf("\n  },\n") >> out
+	printf("  \"allocs_per_op\": {") >> out
+	first = 1
+	for (i = 1; i <= nkeys; i++) {
+		k = keys[i]
+		if (k in allocs) {
+			printf("%s\n    \"%s\": %s", first ? "" : ",", k, allocs[k]) >> out
+			first = 0
+		}
+	}
+	printf("\n  },\n") >> out
 	printf("  \"speedup\": {\n") >> out
 	printf("    \"child_transitions_kernel_vs_naive\": %.3f,\n", \
 		ns["ChildTransitionsNaive"] / ns["ChildTransitions"]) >> out
 	printf("    \"reevaluate_kernel_parallel_vs_naive\": %.3f,\n", \
 		ns["ReevaluateNaive"] / ns["Reevaluate"]) >> out
 	printf("    \"reevaluate_parallel_vs_serial\": %.3f,\n", \
-		ns["ReevaluateSerial"] / ns["Reevaluate"]) >> out
+		ns["ReevaluateSerial"] / ns["ReevaluateW4"]) >> out
 	printf("    \"new_evaluator_parallel_vs_serial\": %.3f\n", \
-		ns["NewEvaluatorSerial"] / ns["NewEvaluator"]) >> out
+		ns["NewEvaluatorSerial"] / ns["NewEvaluatorW4"]) >> out
 	printf("  }\n}\n") >> out
 }
 ' "$TMP"

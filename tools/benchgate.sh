@@ -1,29 +1,39 @@
 #!/bin/sh
 # benchgate.sh — regression gate over a tools/bench.sh JSON snapshot.
-# Asserts the kernel speedup ratios stayed above 1.0, i.e. the
-# similarity kernel and the kernelized evaluator are still faster than
-# their pre-kernel naive baselines. Only the two *_vs_naive ratios are
-# gated: the parallel-vs-serial ratios legitimately dip below 1.0 on
-# the 2-core runners CI hands out, so gating them would make the job
-# flaky by construction.
 #
-# Usage: benchgate.sh [BENCH.json]   (default BENCH_pr2.json)
+# Unconditional gates (any machine):
+#   - child_transitions_kernel_vs_naive  > 1.0
+#   - reevaluate_kernel_parallel_vs_naive > 1.0
+#     (the similarity kernel and kernelized evaluator must stay faster
+#     than their pre-kernel naive baselines)
+#   - TransitionsInto allocs/op == 0
+#     (the arena hot path must stay allocation-free)
+#
+# CPU-conditional gates (snapshot recorded cpus >= 4):
+#   - reevaluate_parallel_vs_serial    > 1.5
+#   - new_evaluator_parallel_vs_serial > 1.5
+#     (the four-worker evaluator must genuinely beat serial; on fewer
+#     cores there is no parallel hardware to win with, so the gate is
+#     skipped loudly rather than made flaky by construction)
+#
+# Usage: benchgate.sh [BENCH.json]   (default BENCH_pr7.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-IN=${1:-BENCH_pr2.json}
+IN=${1:-BENCH_pr7.json}
 if [ ! -f "$IN" ]; then
 	echo "benchgate: FAIL: $IN not found — run tools/bench.sh first" >&2
 	exit 1
 fi
 
 awk -v in_file="$IN" '
+function strip(v) { gsub(/[":,]/, "", v); return v }
+/"cpus":/          { cpus = strip($2) + 0 }
+/"allocs_per_op"/  { in_allocs = 1 }
+in_allocs && /"TransitionsInto":/ { trans_allocs = strip($2); have_trans = 1; in_allocs = 0 }
 /"(child_transitions_kernel_vs_naive|reevaluate_kernel_parallel_vs_naive)":/ {
-	key = $1
-	gsub(/[":,]/, "", key)
-	val = $2
-	gsub(/,/, "", val)
+	key = strip($1); val = strip($2)
 	gated++
 	if (val + 0 > 1.0) {
 		printf("benchgate: OK   %s = %s\n", key, val)
@@ -32,9 +42,37 @@ awk -v in_file="$IN" '
 		failed++
 	}
 }
+/"(reevaluate_parallel_vs_serial|new_evaluator_parallel_vs_serial)":/ {
+	key = strip($1); val = strip($2)
+	if (cpus >= 4) {
+		gated++
+		if (val + 0 > 1.5) {
+			printf("benchgate: OK   %s = %s\n", key, val)
+		} else {
+			printf("benchgate: FAIL %s = %s (want > 1.5 at %d cpus)\n", key, val, cpus)
+			failed++
+		}
+	} else {
+		printf("benchgate: SKIP %s = %s (runner has %d cpus, need >= 4 to gate parallel speedup)\n", key, val, cpus)
+		skipped++
+	}
+}
 END {
-	if (gated != 2) {
-		printf("benchgate: FAIL expected 2 gated ratios in %s, found %d — did tools/bench.sh change its keys?\n", in_file, gated)
+	if (have_trans) {
+		gated++
+		if (trans_allocs + 0 == 0) {
+			printf("benchgate: OK   TransitionsInto allocs/op = %s\n", trans_allocs)
+		} else {
+			printf("benchgate: FAIL TransitionsInto allocs/op = %s (want 0)\n", trans_allocs)
+			failed++
+		}
+	} else {
+		printf("benchgate: FAIL no TransitionsInto allocs/op in %s — did tools/bench.sh change its keys?\n", in_file)
+		failed++
+	}
+	want = (cpus >= 4) ? 5 : 3
+	if (gated != want) {
+		printf("benchgate: FAIL expected %d gated ratios in %s, found %d — did tools/bench.sh change its keys?\n", want, in_file, gated)
 		exit 1
 	}
 	if (failed > 0) exit 1
