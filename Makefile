@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench benchgate bench-serve soak crash-soak fmt-check lint ci clean
+.PHONY: build test race vet verify bench benchgate bench-serve bench-coldstart soak crash-soak fmt-check lint ci clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ benchgate:
 bench-serve:
 	sh tools/bench_serve.sh
 
+# Cold-start snapshot: times loading the same organization from JSON
+# vs the binfmt container on a socrata lake, written to BENCH_pr8.json
+# and gated at > 2x with fingerprint equality by tools/benchgate.sh
+# (tools/bench_coldstart.sh). COLDSTART_QUICK=1 shrinks the lake.
+bench-coldstart:
+	sh tools/bench_coldstart.sh
+
 # End-to-end serving soak: socrata lake -> race-built navserver ->
 # deterministic lakeload for SOAK_DURATION (default 10s); fails on any
 # non-shed non-2xx response or a detected race (tools/soak.sh).
@@ -67,11 +74,13 @@ fmt-check:
 
 # Everything .github/workflows/ci.yml runs, locally: the full verify
 # gate, the lint checks, the bench-regression smokes at reduced
-# benchtime, and the serving soak.
+# benchtime, the binary-format cold-start gate, and the soaks.
 ci: fmt-check lint verify
 	BENCHTIME=50ms sh tools/bench.sh BENCH_ci.json
 	sh tools/benchgate.sh BENCH_ci.json
 	BENCHTIME=50ms sh tools/bench_serve.sh BENCH_serve_ci.json
+	sh tools/bench_coldstart.sh BENCH_coldstart_ci.json
+	sh tools/benchgate.sh BENCH_coldstart_ci.json
 	SOAK_DURATION=10s sh tools/soak.sh soak-artifacts
 	sh tools/crash_soak.sh crash-soak-artifacts
 

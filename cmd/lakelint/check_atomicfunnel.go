@@ -3,6 +3,7 @@ package main
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"os"
 	"strings"
 )
@@ -36,16 +37,47 @@ var atomicfunnelWriteFns = map[string]bool{
 // platform the module type-checks against.
 const atomicfunnelWriteMask = os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC
 
-// atomicfunnelScoped reports whether the package owns durable state
-// under the funnel contract (matched by path shape so fixture trees
-// can replicate it).
-func atomicfunnelScoped(m *Module, p *Package) bool {
+// atomicfunnelRel is the package path relative to the module root
+// (matched by path shape so fixture trees can replicate it).
+func atomicfunnelRel(m *Module, p *Package) string {
 	rel := strings.TrimPrefix(p.Path, m.Path)
-	rel = strings.TrimPrefix(rel, "/")
+	return strings.TrimPrefix(rel, "/")
+}
+
+// atomicfunnelScoped reports whether the package owns durable state
+// under the funnel contract.
+func atomicfunnelScoped(m *Module, p *Package) bool {
+	rel := atomicfunnelRel(m, p)
 	if rel == "internal/atomicio" || rel == "internal/faultinject" {
 		return false
 	}
 	return rel == "" || strings.HasPrefix(rel, "internal/")
+}
+
+// atomicfunnelIsBinWriteTo reports whether a selector call resolves to
+// (*binfmt.Writer).WriteTo — the raw container serializer. Outside
+// internal/binfmt itself that call shape means a binary artifact is
+// being streamed to some hand-opened destination instead of through
+// binfmt.WriteFile, which is the atomicio-staged durable path.
+func atomicfunnelIsBinWriteTo(p *Package, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "WriteTo" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Writer" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "internal/binfmt" || strings.HasSuffix(path, "/internal/binfmt")
 }
 
 func runAtomicfunnel(m *Module) []Finding {
@@ -54,6 +86,9 @@ func runAtomicfunnel(m *Module) []Finding {
 		if !atomicfunnelScoped(m, p) {
 			continue
 		}
+		// binfmt.WriteFile is the one sanctioned WriteTo caller: it
+		// hands the stream to atomicio.
+		inBinfmt := atomicfunnelRel(m, p) == "internal/binfmt"
 		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
 			where := "package-level declaration"
 			if fd != nil {
@@ -66,6 +101,11 @@ func runAtomicfunnel(m *Module) []Finding {
 				}
 				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 				if !ok {
+					return true
+				}
+				if !inBinfmt && atomicfunnelIsBinWriteTo(p, sel) {
+					out = append(out, finding(m, call.Pos(), "atomicfunnel",
+						"(*binfmt.Writer).WriteTo in %s bypasses the atomicio durability funnel; durable containers go through binfmt.WriteFile", where))
 					return true
 				}
 				id, ok := sel.X.(*ast.Ident)

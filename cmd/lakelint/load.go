@@ -147,6 +147,13 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
 			continue
 		}
+		// Respect build constraints: a file the compiler excludes on
+		// this platform (e.g. the !unix mmap fallback on a unix host)
+		// would redeclare symbols if type-checked beside its
+		// counterpart.
+		if match, err := gobuild.Default.MatchFile(dir, fn); err != nil || !match {
+			continue
+		}
 		relName := fn
 		if rel != "." {
 			relName = filepath.ToSlash(rel) + "/" + fn

@@ -1,0 +1,24 @@
+// Package binfmt replicates the real container writer: WriteFile is
+// the sanctioned durable path (the real one stages through atomicio),
+// and Writer.WriteTo may only be called from inside this package.
+package binfmt
+
+import "io"
+
+// Writer replicates the container serializer.
+type Writer struct{}
+
+// WriteTo streams the container; outside this package the call is a
+// funnel bypass.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	n, err := out.Write([]byte("container"))
+	return int64(n), err
+}
+
+// WriteFile is the funnel entry point: WriteTo inside internal/binfmt
+// is exempt, which this call exercises.
+func WriteFile(path string, w *Writer) error {
+	_ = path
+	_, err := w.WriteTo(io.Discard)
+	return err
+}

@@ -4,7 +4,11 @@
 // expected findings; every other line must stay clean.
 package persist
 
-import "os"
+import (
+	"os"
+
+	"atomicfix/internal/binfmt"
+)
 
 func writeDirect(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644) // want atomicfunnel "os.WriteFile"
@@ -52,4 +56,16 @@ func readsAllowed(path string) ([]byte, error) {
 // Removal is not a torn-write hazard.
 func cleanupAllowed(path string) error {
 	return os.Remove(path)
+}
+
+// Streaming a binary container to a hand-opened file sidesteps the
+// temp+fsync+rename staging even though no os write API appears.
+func writeContainerDirect(w *binfmt.Writer, f *os.File) error {
+	_, err := w.WriteTo(f) // want atomicfunnel "binfmt.Writer"
+	return err
+}
+
+// The sanctioned path for durable containers.
+func writeContainerFunneled(path string, w *binfmt.Writer) error {
+	return binfmt.WriteFile(path, w)
 }

@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	lakenav gen -kind tagcloud|socrata -out lake.json [-quick] [-seed N]
+//	lakenav gen -kind tagcloud|socrata -out lake.json [-quick] [-seed N] [-format json|bin]
 //	lakenav stats -lake lake.json
 //	lakenav organize -lake lake.json [-dims N] [-no-opt] [-seed N] [-export org.json]
 //	                 [-checkpoint search.ck] [-resume] [-timeout 5m]
-//	                 [-progress events.ndjson]
+//	                 [-progress events.ndjson] [-format json|bin]
 //	lakenav search -lake lake.json -q "query" [-k N]
 //	lakenav walk -lake lake.json -q "query" [-dims N]
 //	lakenav ingest -lake lake.json -org org.json -journal commits.journal
 //	               [-add table.json]... [-remove name]... [-status] [-export out.json]
+//	lakenav convert -kind org|lake -in src -out dst -to json|bin [-lake lake.json]
+//	lakenav orghash -lake lake.json -org org.json [-repeat N]
+//
+// Load paths sniff the file magic, so every -lake/-org flag accepts
+// either format; -format/-to choose what gets written.
 package main
 
 import (
@@ -48,6 +53,10 @@ func main() {
 		err = cmdWalk(os.Args[2:])
 	case "ingest":
 		err = cmdIngest(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "orghash":
+		err = cmdOrgHash(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -67,7 +76,9 @@ commands:
   organize  build an organization and report its structure
   search    BM25 keyword search over a lake
   walk      simulate one navigation toward a query
-  ingest    commit table add/remove batches to a crash-safe journal`)
+  ingest    commit table add/remove batches to a crash-safe journal
+  convert   re-encode a lake or organization between json and bin
+  orghash   time an organization load and print its fingerprint`)
 }
 
 func cmdGen(args []string) error {
@@ -76,7 +87,12 @@ func cmdGen(args []string) error {
 	out := fs.String("out", "lake.json", "output path")
 	quick := fs.Bool("quick", false, "generate a reduced instance")
 	seed := fs.Int64("seed", 1, "generation seed")
+	formatName := fs.String("format", "json", "output format: json or bin")
 	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
+	format, err := lakenav.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
 
 	var save func(path string) error
 	switch *kind {
@@ -93,6 +109,9 @@ func cmdGen(args []string) error {
 		fmt.Printf("tagcloud: %d tables, %d attributes, %d tags\n",
 			len(tc.Lake.Tables), len(tc.Lake.Attrs), len(tc.Lake.Tags()))
 		save = tc.Lake.SaveFile
+		if format == lakenav.FormatBin {
+			save = tc.Lake.SaveFileBin
+		}
 	case "socrata":
 		cfg := synth.DefaultSocrataConfig()
 		if *quick {
@@ -106,6 +125,9 @@ func cmdGen(args []string) error {
 		fmt.Printf("socrata-like: %d tables, %d attributes, %d tags\n",
 			len(soc.Lake.Tables), len(soc.Lake.Attrs), len(soc.Lake.Tags()))
 		save = soc.Lake.SaveFile
+		if format == lakenav.FormatBin {
+			save = soc.Lake.SaveFileBin
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -149,7 +171,12 @@ func cmdOrganize(args []string) error {
 	workers := fs.Int("workers", 0, "evaluator goroutine pool size; 0 uses all CPUs (results are identical for any value)")
 	restarts := fs.Int("restarts", 1, "independent searches per dimension, keeping the most effective (restart r appends .r<r> to checkpoint files)")
 	progress := fs.String("progress", "", "stream optimizer progress to this file as NDJSON, one event per iteration")
+	formatName := fs.String("format", "json", "format for -export and -checkpoint files: json or bin")
 	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
+	format, err := lakenav.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
 	l, err := loadLake(*path)
 	if err != nil {
 		return err
@@ -159,6 +186,7 @@ func cmdOrganize(args []string) error {
 	cfg.Optimize = !*noOpt
 	cfg.Seed = *seed
 	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointBinary = format == lakenav.FormatBin
 	cfg.Resume = *resume
 	cfg.Workers = *workers
 	cfg.Restarts = *restarts
@@ -210,7 +238,7 @@ func cmdOrganize(args []string) error {
 		}
 	}
 	if *export != "" {
-		if err := org.SaveJSON(*export); err != nil {
+		if err := org.Save(*export, format); err != nil {
 			return err
 		}
 		fmt.Printf("wrote organization to %s\n", *export)

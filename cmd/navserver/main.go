@@ -173,7 +173,7 @@ func (s *server) handler() http.Handler {
 
 func main() {
 	path := flag.String("lake", "", "lake JSON path")
-	orgPath := flag.String("org", "", "pre-built organization JSON (skips construction)")
+	orgPath := flag.String("org", "", "pre-built organization, json or bin (skips construction)")
 	dims := flag.Int("dims", 1, "organization dimensions")
 	addr := flag.String("addr", ":8080", "listen address")
 	checkpoint := flag.String("checkpoint", "", "checkpoint the background build to this path (dimension i appends .dim<i>)")

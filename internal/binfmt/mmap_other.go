@@ -1,0 +1,16 @@
+//go:build !unix
+
+package binfmt
+
+import "os"
+
+// Open reads the container at path into memory and parses it. The
+// non-unix fallback trades the mmap fast path for portability; the
+// container API is identical.
+func Open(path string) (*Container, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(data)
+}

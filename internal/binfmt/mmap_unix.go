@@ -1,0 +1,46 @@
+//go:build unix
+
+package binfmt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// Open maps the container at path read-only and parses it. On unix the
+// bytes are mmap'd (PROT_READ, MAP_SHARED), so opening a multi-hundred-
+// megabyte org costs page-table setup, not a read; pages fault in as
+// sections are touched. Close unmaps. Empty and tiny files fall back
+// to a heap read so the magic check produces ErrBadMagic rather than a
+// map error.
+func Open(path string) (*Container, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerSize {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return nil, err
+		}
+		return New(data)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("binfmt: mmap %s: %w", path, err)
+	}
+	c, err := New(data)
+	if err != nil {
+		_ = syscall.Munmap(data) // parse failed; surface that error
+		return nil, err
+	}
+	c.munmap = func() error { return syscall.Munmap(data) }
+	return c, nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lakenav/internal/binfmt"
+	"lakenav/internal/faultinject"
+	"lakenav/internal/lake"
+	"lakenav/internal/synth"
+)
+
+// canonical returns the import-normalized form of o: the edge and
+// state order Import produces from an export. The binary codec targets
+// this form — decode(encode(x)) is bit-identical for canonical x, which
+// is exactly what every load path (JSON or binary) hands out.
+func canonical(t *testing.T, l *lake.Lake, o *Org) *Org {
+	t.Helper()
+	c, err := Import(l, o.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBinOrgRoundTrip is the golden pin of the PR: a JSON-canonical
+// organization survives encode→decode with an identical fingerprint,
+// an identical export, and a byte-identical re-encode.
+func TestBinOrgRoundTrip(t *testing.T) {
+	l := testLake(t)
+	built, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := canonical(t, l, built)
+
+	data, err := EncodeBinOrg(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBinOrg(l, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dec.Fingerprint(), o.Fingerprint(); got != want {
+		t.Fatalf("decoded fingerprint %016x != source %016x", got, want)
+	}
+	je, _ := json.Marshal(o.Export())
+	jd, _ := json.Marshal(dec.Export())
+	if !bytes.Equal(je, jd) {
+		t.Fatal("decoded export differs from source export")
+	}
+	// Deterministic encoder: same org, same bytes.
+	again, err := EncodeBinOrg(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding the decoded org produced different bytes")
+	}
+}
+
+// TestBinOrgMatchesJSONPath pins the cross-format contract the
+// cold-start gate relies on: loading an org through the JSON reader and
+// through the binary codec yields the same fingerprint.
+func TestBinOrgMatchesJSONPath(t *testing.T) {
+	l := testLake(t)
+	built, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadOrg(l, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeBinOrg(fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinOrg(l, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Fingerprint() != fromJSON.Fingerprint() {
+		t.Fatalf("binary path fingerprint %016x != JSON path %016x",
+			fromBin.Fingerprint(), fromJSON.Fingerprint())
+	}
+}
+
+// TestBinOrgDegenerateLakes round-trips organizations over minimal
+// lakes: a single table with a single attribute, and a tagless lake.
+func TestBinOrgDegenerateLakes(t *testing.T) {
+	lakes := map[string]*lake.Lake{}
+
+	one := lake.New()
+	one.AddTable("solo", []string{"fishery"},
+		lake.AttrSpec{Name: "species", Values: []string{"fisha"}})
+	one.ComputeTopics(axisModel{})
+	lakes["single attr"] = one
+
+	mixed := lake.New()
+	mixed.AddTable("plain", nil,
+		lake.AttrSpec{Name: "species", Values: []string{"fisha", "fishb"}})
+	mixed.AddTable("tagged", []string{"fishery"},
+		lake.AttrSpec{Name: "catch", Values: []string{"fishc"}})
+	mixed.ComputeTopics(axisModel{})
+	lakes["untagged table"] = mixed
+
+	for name, l := range lakes {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		built, err := NewClustered(l, BuildConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		o := canonical(t, l, built)
+		data, err := EncodeBinOrg(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dec, err := DecodeBinOrg(l, data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dec.Fingerprint() != o.Fingerprint() {
+			t.Fatalf("%s: fingerprint changed across round-trip", name)
+		}
+	}
+}
+
+// TestBinMultiDimRoundTrip saves a multi-dimensional organization
+// through the container format and checks the mmap-backed load returns
+// an equivalent canonical structure, byte-stable under re-save.
+func TestBinMultiDimRoundTrip(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := BuildMultiDim(tc.Lake, MultiDimConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := ImportMultiDim(tc.Lake, m.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "org.bin")
+	if err := SaveBinMultiDim(path, canon); err != nil {
+		t.Fatal(err)
+	}
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !binfmt.IsMagic(head) {
+		t.Fatal("saved multidim file does not start with the container magic")
+	}
+	loaded, err := LoadMultiDim(tc.Lake, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range loaded.Orgs {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("dimension %d: %v", i, err)
+		}
+	}
+	if loaded.Fingerprint() != canon.Fingerprint() {
+		t.Fatalf("loaded fingerprint %016x != canonical %016x",
+			loaded.Fingerprint(), canon.Fingerprint())
+	}
+	// Byte-stable re-save: decode is lossless for canonical input.
+	path2 := filepath.Join(dir, "org2.bin")
+	if err := SaveBinMultiDim(path2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-saving the loaded multidim produced different bytes")
+	}
+
+	// LoadMultiDim also still reads the JSON form.
+	jpath := filepath.Join(dir, "org.json")
+	jf, err := os.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := canon.WriteJSON(jf); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	fromJSON, err := LoadMultiDim(tc.Lake, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Fingerprint() != loaded.Fingerprint() {
+		t.Fatal("JSON and binary load paths disagree on fingerprint")
+	}
+}
+
+// TestBinMultiDimRejectsCorruptFiles tears and corrupts a saved
+// multidim file; every damaged variant must be rejected.
+func TestBinMultiDimRejectsCorruptFiles(t *testing.T) {
+	tc, err := synth.GenerateTagCloud(synth.SmallTagCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := BuildMultiDim(tc.Lake, MultiDimConfig{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "org.bin")
+	if err := SaveBinMultiDim(path, m); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.95} {
+		torn := filepath.Join(dir, "torn.bin")
+		if err := faultinject.TornCopy(path, torn, frac); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadMultiDim(tc.Lake, torn); err == nil {
+			t.Fatalf("torn file (%.0f%%) accepted", frac*100)
+		}
+	}
+	for _, off := range []int64{9, 40, info.Size() / 2, info.Size() - 1} {
+		bad := filepath.Join(dir, "bad.bin")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultinject.CorruptByte(bad, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadMultiDim(tc.Lake, bad); err == nil {
+			t.Fatalf("corrupt byte at %d accepted", off)
+		}
+	}
+}
+
+// TestBinCheckpointRoundTrip saves a checkpoint in the binary format
+// and checks the loaded copy is field-identical to the JSON encoding of
+// the original.
+func TestBinCheckpointRoundTrip(t *testing.T) {
+	l := testLake(t)
+	o, err := NewClustered(l, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		Version:  checkpointVersion,
+		Dim:      2,
+		TagGroup: []string{"fishery", "grain"},
+		Config: SearchConfig{
+			RepFraction: 0.5, MaxIterations: 100, Window: 50,
+			MinRelImprovement: 0.001, LeafProposals: 4,
+			AcceptExponent: 2, Seed: 9, CheckpointEvery: 7,
+		},
+		Iterations: 42, Accepted: 17, Rejected: 25,
+		SinceImprove: 3, PlateauRef: 0.7,
+		InitialEff: 0.25, BestEff: 0.75,
+		RNGState: 12345,
+		Current:  o.Export(),
+		Best:     o.Export(),
+		binary:   true,
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ck")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !binfmt.IsMagic(head) {
+		t.Fatal("binary checkpoint file does not start with the container magic")
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.binary {
+		t.Error("loaded checkpoint lost its binary flag; resumed searches would switch formats")
+	}
+	want, _ := json.Marshal(ck)
+	got, _ := json.Marshal(loaded)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("binary checkpoint round-trip drifted:\n want %s\n got  %s", want, got)
+	}
+
+	// Corruption anywhere in the file must be rejected.
+	for _, off := range []int64{12, 48, int64(len(head)) / 2} {
+		bad := filepath.Join(dir, "bad.ck")
+		if err := os.WriteFile(bad, head, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultinject.CorruptByte(bad, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(bad); err == nil {
+			t.Fatalf("corrupt byte at %d accepted", off)
+		}
+	}
+}
+
+// TestBinCheckpointOptimizerWritesBinary runs a real search with binary
+// checkpoints enabled and checks the files it leaves behind parse,
+// validate, and resume.
+func TestBinCheckpointOptimizerWritesBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bin.ck")
+	_, o := checkpointLakeOrg(t)
+	cfg := ckOptConfig(path)
+	cfg.Checkpoint.Binary = true
+	_, stats, err := OptimizeContext(context.Background(), o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("search never checkpointed; nothing tested")
+	}
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !binfmt.IsMagic(head) {
+		t.Fatal("optimizer wrote a non-binary checkpoint despite Binary: true")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.validate(); err != nil {
+		t.Fatal(err)
+	}
+}

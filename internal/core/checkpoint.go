@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
 	"lakenav/internal/atomicio"
+	"lakenav/internal/binfmt"
 	"lakenav/internal/lake"
 )
 
@@ -39,6 +41,11 @@ type CheckpointConfig struct {
 	// belongs to a different dimension or grouping.
 	Dim      int
 	TagGroup []string
+	// Binary writes checkpoints in the binfmt container format instead
+	// of JSON, cutting per-snapshot serialization cost. LoadCheckpoint
+	// accepts either format; a resumed search keeps checkpointing in
+	// the format it was loaded from.
+	Binary bool
 }
 
 func (c *CheckpointConfig) defaults() {
@@ -93,6 +100,9 @@ type Checkpoint struct {
 	// path remembers where the checkpoint was loaded from so a resumed
 	// search keeps checkpointing to the same file.
 	path string
+	// binary remembers the on-disk format the checkpoint was loaded
+	// from (or configured with), so a resumed search keeps writing it.
+	binary bool
 }
 
 // searchConfig rebuilds the OptimizeConfig a resumed search runs under.
@@ -109,6 +119,7 @@ func (ck *Checkpoint) searchConfig() OptimizeConfig {
 		Checkpoint: &CheckpointConfig{
 			Path:          ck.path,
 			EveryAccepted: c.CheckpointEvery,
+			Binary:        ck.binary,
 		},
 	}
 }
@@ -147,8 +158,19 @@ func (ck *Checkpoint) validate() error {
 	return nil
 }
 
-// SaveCheckpoint atomically writes ck to path.
+// SaveCheckpoint atomically writes ck to path, in the binfmt container
+// format when the checkpoint is binary-flagged and JSON otherwise.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
+	if ck.binary {
+		w, err := encodeBinCheckpoint(ck)
+		if err != nil {
+			return fmt.Errorf("core: save checkpoint: %w", err)
+		}
+		if err := binfmt.WriteFile(path, w); err != nil {
+			return fmt.Errorf("core: save checkpoint: %w", err)
+		}
+		return nil
+	}
 	err := atomicio.WriteFile(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		return enc.Encode(ck)
@@ -160,15 +182,21 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 }
 
 // LoadCheckpoint reads and validates a checkpoint written by
-// SaveCheckpoint. A torn, truncated, or otherwise invalid file returns
-// an error; callers are expected to fall back to a fresh build.
+// SaveCheckpoint, sniffing the container magic so both the binary and
+// the JSON format are accepted. A torn, truncated, or otherwise
+// invalid file returns an error; callers are expected to fall back to
+// a fresh build.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: load checkpoint: %w", err)
 	}
-	defer f.Close()
-	ck, err := DecodeCheckpoint(f)
+	var ck *Checkpoint
+	if binfmt.IsMagic(data) {
+		ck, err = DecodeBinCheckpoint(data)
+	} else {
+		ck, err = DecodeCheckpoint(bytes.NewReader(data))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: load checkpoint %s: %w", path, err)
 	}

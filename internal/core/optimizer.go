@@ -508,6 +508,7 @@ func (s *search) checkpoint() error {
 		Current:      cur,
 		Best:         best,
 		path:         s.cfg.Checkpoint.Path,
+		binary:       s.cfg.Checkpoint.Binary,
 	}
 	if ck.path != "" {
 		if err := SaveCheckpoint(ck.path, ck); err != nil {

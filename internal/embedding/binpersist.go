@@ -1,0 +1,117 @@
+package embedding
+
+import (
+	"fmt"
+
+	"lakenav/internal/binfmt"
+	"lakenav/vector"
+)
+
+// Container-based store format (binfmt.KindEmbedding): the vocabulary
+// in a string table, one ref per entry, and all vectors in a single
+// flat float64 block — CRC-guarded and mmap-friendly, unlike the
+// legacy LNEMBD01 stream, which LoadFile still accepts for existing
+// files.
+
+// embFormatVersion is the kindVer of embedding containers.
+const embFormatVersion = 1
+
+// Section ids of a KindEmbedding container.
+const (
+	secEmbMeta     = 1 // [dim, count]
+	secEmbStrOffs  = 2
+	secEmbStrBytes = 3
+	secEmbWordRefs = 4
+	secEmbVecs     = 5
+)
+
+// SaveFileBin atomically writes the store to path in the binary
+// container format.
+func (s *Store) SaveFileBin(path string) error {
+	st := binfmt.NewStringTableBuilder()
+	wordRefs := make([]uint32, len(s.words))
+	vecs := make([]float64, 0, len(s.words)*s.dim)
+	for i, word := range s.words {
+		wordRefs[i] = st.Ref(word)
+		vecs = append(vecs, s.vecs[i]...)
+	}
+	w := binfmt.NewWriter(binfmt.KindEmbedding, embFormatVersion)
+	w.AddUint64s(secEmbMeta, []uint64{uint64(s.dim), uint64(len(s.words))})
+	st.AddTo(w, secEmbStrOffs, secEmbStrBytes)
+	w.AddUint32s(secEmbWordRefs, wordRefs)
+	w.AddFloat64s(secEmbVecs, vecs)
+	if err := binfmt.WriteFile(path, w); err != nil {
+		return fmt.Errorf("embedding: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadFileBin mmaps and decodes a binary store file.
+func loadFileBin(path string) (*Store, error) {
+	c, err := binfmt.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return decodeBinStore(c)
+}
+
+// DecodeBinStore decodes a binary store container from memory.
+func DecodeBinStore(data []byte) (*Store, error) {
+	c, err := binfmt.New(data)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return decodeBinStore(c)
+}
+
+func decodeBinStore(c *binfmt.Container) (*Store, error) {
+	kind, ver := c.Kind()
+	if kind != binfmt.KindEmbedding {
+		return nil, fmt.Errorf("embedding: decode container kind %d, want %d", kind, binfmt.KindEmbedding)
+	}
+	if ver != embFormatVersion {
+		return nil, fmt.Errorf("embedding: decode format version %d, want %d", ver, embFormatVersion)
+	}
+	meta, err := c.Uint64s(secEmbMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 2 {
+		return nil, fmt.Errorf("embedding: decode meta has %d words, want 2", len(meta))
+	}
+	dim := meta[0]
+	if dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("embedding: implausible dim %d", dim)
+	}
+	strs, err := binfmt.ReadStringTable(c, secEmbStrOffs, secEmbStrBytes)
+	if err != nil {
+		return nil, err
+	}
+	wordRefs, err := c.Uint32s(secEmbWordRefs)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(wordRefs)) != meta[1] {
+		return nil, fmt.Errorf("embedding: decode meta claims %d entries, section has %d", meta[1], len(wordRefs))
+	}
+	vecs, err := c.Float64s(secEmbVecs)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(vecs)) != uint64(len(wordRefs))*dim {
+		return nil, fmt.Errorf("embedding: decode vec block has %d floats, want %d", len(vecs), uint64(len(wordRefs))*dim)
+	}
+	s := NewStore(int(dim))
+	for i, ref := range wordRefs {
+		word, err := strs.Lookup(ref)
+		if err != nil {
+			return nil, err
+		}
+		v := vector.New(int(dim))
+		copy(v, vecs[i*int(dim):(i+1)*int(dim)])
+		s.Add(word, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package embedding
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lakenav/internal/faultinject"
+	"lakenav/vector"
+)
+
+// TestBinStoreFileRoundTrip saves a store in the container format;
+// LoadFile must sniff it and return exactly the same vocabulary and
+// vectors (bit-exact, tolerance zero).
+func TestBinStoreFileRoundTrip(t *testing.T) {
+	s := buildTestStore()
+	path := filepath.Join(t.TempDir(), "vecs.lnav")
+	if err := s.SaveFileBin(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != s.Dim() || got.Len() != s.Len() {
+		t.Fatalf("shape mismatch: dim %d/%d len %d/%d", got.Dim(), s.Dim(), got.Len(), s.Len())
+	}
+	for _, w := range s.Words() {
+		want, _ := s.Lookup(w)
+		have, ok := got.Lookup(w)
+		if !ok || !vector.Equal(want, have, 0) {
+			t.Errorf("word %q: got %v want %v (ok=%v)", w, have, want, ok)
+		}
+	}
+}
+
+// TestBinStoreRejectsCorruption checks torn and bit-flipped binary
+// store files are rejected, and that the legacy stream still loads.
+func TestBinStoreRejectsCorruption(t *testing.T) {
+	s := buildTestStore()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "vecs.lnav")
+	if err := s.SaveFileBin(bin); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.lnav")
+	if err := faultinject.TornCopy(bin, torn, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(torn); err == nil {
+		t.Fatal("torn binary store accepted")
+	}
+	for _, off := range []int64{9, 40, int64(len(data)) - 4} {
+		bad := filepath.Join(dir, "bad.lnav")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultinject.CorruptByte(bad, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(bad); err == nil {
+			t.Fatalf("corrupt byte at %d accepted", off)
+		}
+	}
+
+	// The legacy LNEMBD01 stream remains loadable next to the container.
+	legacy := filepath.Join(dir, "legacy.bin")
+	if err := s.SaveFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(legacy); err != nil {
+		t.Fatalf("legacy format stopped loading: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"lakenav/internal/atomicio"
+	"lakenav/internal/binfmt"
 	"lakenav/vector"
 )
 
@@ -132,13 +133,27 @@ func (s *Store) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a store previously written with SaveFile.
+// LoadFile reads a store previously written with SaveFile or
+// SaveFileBin, sniffing the magic so both the container format and the
+// legacy LNEMBD01 stream are accepted.
 func LoadFile(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("embedding: load %s: %w", path, err)
 	}
+	var head [8]byte
+	if n, _ := io.ReadFull(f, head[:]); n == len(head) && binfmt.IsMagic(head[:]) {
+		_ = f.Close() // read-only sniff handle
+		s, err := loadFileBin(path)
+		if err != nil {
+			return nil, fmt.Errorf("embedding: load %s: %w", path, err)
+		}
+		return s, nil
+	}
 	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("embedding: load %s: %w", path, err)
+	}
 	s, err := ReadStore(f)
 	if err != nil {
 		return nil, fmt.Errorf("embedding: load %s: %w", path, err)

@@ -1,0 +1,85 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lakenav/internal/faultinject"
+)
+
+// TestBinFileRoundTrip saves a lake in the container format and checks
+// LoadFile sniffs and decodes it back to the same shape the JSON path
+// produces.
+func TestBinFileRoundTrip(t *testing.T) {
+	l := buildTestLake(t)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lake.bin")
+	if err := l.SaveFileBin(bin); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != len(l.Tables) || len(got.Attrs) != len(l.Attrs) {
+		t.Fatalf("shape mismatch: %d/%d tables, %d/%d attrs",
+			len(got.Tables), len(l.Tables), len(got.Attrs), len(l.Attrs))
+	}
+	for i, want := range l.Tables {
+		have := got.Tables[i]
+		if have.Name != want.Name || len(have.Tags) != len(want.Tags) || len(have.Attrs) != len(want.Attrs) {
+			t.Errorf("table %d mismatch: %+v vs %+v", i, have, want)
+		}
+	}
+	for i, want := range l.Attrs {
+		have := got.Attrs[i]
+		if have.Name != want.Name || len(have.Values) != len(want.Values) || have.Text != want.Text {
+			t.Errorf("attr %d mismatch", i)
+		}
+		for j, v := range want.Values {
+			if have.Values[j] != v {
+				t.Errorf("attr %d value %d: %q != %q", i, j, have.Values[j], v)
+			}
+		}
+	}
+}
+
+// TestBinFileRejectsCorruption tears and flips bytes of a binary lake
+// file; LoadFile must reject every variant with an error.
+func TestBinFileRejectsCorruption(t *testing.T) {
+	l := buildTestLake(t)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lake.bin")
+	if err := l.SaveFileBin(bin); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.2, 0.9} {
+		torn := filepath.Join(dir, "torn.bin")
+		if err := faultinject.TornCopy(bin, torn, frac); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(torn); err == nil {
+			t.Fatalf("torn lake file (%.0f%%) accepted", frac*100)
+		}
+	}
+	for _, off := range []int64{10, 40, int64(len(data)) / 2} {
+		bad := filepath.Join(dir, "bad.bin")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultinject.CorruptByte(bad, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(bad); err == nil {
+			t.Fatalf("corrupt byte at %d accepted", off)
+		}
+	}
+}

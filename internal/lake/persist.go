@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"lakenav/internal/atomicio"
+	"lakenav/internal/binfmt"
 )
 
 // jsonLake is the on-disk form of a Lake. Values are persisted; topic
@@ -83,13 +84,27 @@ func (l *Lake) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a lake previously written with SaveFile.
+// LoadFile reads a lake previously written with SaveFile or
+// SaveFileBin, sniffing the container magic so both formats are
+// accepted.
 func LoadFile(path string) (*Lake, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("lake: load %s: %w", path, err)
 	}
+	var head [8]byte
+	if n, _ := io.ReadFull(f, head[:]); n == len(head) && binfmt.IsMagic(head[:]) {
+		_ = f.Close() // read-only sniff handle
+		l, err := loadFileBin(path)
+		if err != nil {
+			return nil, fmt.Errorf("lake: load %s: %w", path, err)
+		}
+		return l, nil
+	}
 	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("lake: load %s: %w", path, err)
+	}
 	l, err := ReadJSON(f)
 	if err != nil {
 		return nil, fmt.Errorf("lake: load %s: %w", path, err)

@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 
 	"lakenav/internal/atomicio"
 	"lakenav/internal/core"
@@ -128,6 +127,19 @@ func LoadJSON(path string, opts ...Option) (*Lake, error) {
 // SaveJSON writes the lake to path.
 func (l *Lake) SaveJSON(path string) error { return l.l.SaveFile(path) }
 
+// Save writes the lake to path in the given format. LoadJSON sniffs
+// the magic, so either format loads back transparently.
+func (l *Lake) Save(path string, f Format) error {
+	switch f {
+	case FormatJSON:
+		return l.l.SaveFile(path)
+	case FormatBin:
+		return l.l.SaveFileBin(path)
+	default:
+		return fmt.Errorf("lakenav: unknown format %q", f)
+	}
+}
+
 // Tables returns the number of live tables.
 func (l *Lake) Tables() int {
 	n := 0
@@ -199,6 +211,10 @@ type Config struct {
 	// ignored and the dimension rebuilds from scratch — resuming can
 	// speed a restart up but never fail it.
 	Resume bool
+	// CheckpointBinary writes checkpoints in the binary container
+	// format instead of JSON, cutting per-snapshot serialization cost
+	// on large lakes. Resume accepts either format regardless.
+	CheckpointBinary bool
 	// Progress, when non-nil, receives one event per optimizer
 	// iteration plus a closing event per search, letting callers watch
 	// a long build converge live (the CLI streams these as NDJSON via
@@ -310,6 +326,7 @@ func OrganizeContext(ctx context.Context, l *Lake, cfg Config) (*Organization, e
 		mc.Checkpoint = &core.CheckpointConfig{
 			Path:          cfg.CheckpointPath,
 			EveryAccepted: cfg.CheckpointEvery,
+			Binary:        cfg.CheckpointBinary,
 		}
 		mc.Resume = cfg.Resume
 	}
@@ -705,6 +722,29 @@ func (h *Hybrid) RelatedQueries(j HybridJump, n int) ([]string, error) {
 	return h.s.RelatedQueries(j.dim, j.state, n)
 }
 
+// Format selects an on-disk representation for lakes and
+// organizations.
+type Format string
+
+const (
+	// FormatJSON is the human-readable debug/export format.
+	FormatJSON Format = "json"
+	// FormatBin is the versioned binary container format (CRC-guarded
+	// sections, flat vector blocks, mmap-friendly) — the cold-start
+	// format: loading skips both JSON parsing and topic re-derivation.
+	FormatBin Format = "bin"
+)
+
+// ParseFormat maps a -format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatJSON, FormatBin:
+		return Format(s), nil
+	default:
+		return "", fmt.Errorf("lakenav: unknown format %q (want json or bin)", s)
+	}
+}
+
 // SaveJSON persists the organization's structure to path. Reloading
 // with LoadOrganization over the same lake reproduces the exact same
 // navigation behaviour without re-running the construction search —
@@ -721,18 +761,43 @@ func (o *Organization) SaveJSON(path string) error {
 	return nil
 }
 
-// LoadOrganization reads an organization saved with SaveJSON and
-// reattaches it to the lake it was built over.
+// Save persists the organization to path in the given format. JSON
+// stores structure only (topics re-derive from the lake on load);
+// binary stores the topic vectors, accumulators, and domains verbatim,
+// so loading is a bulk copy instead of a propagation pass — both
+// decode to bit-identical organizations over the same lake. Writes are
+// atomic in either format.
+func (o *Organization) Save(path string, f Format) error {
+	switch f {
+	case FormatJSON:
+		return o.SaveJSON(path)
+	case FormatBin:
+		if err := core.SaveBinMultiDim(path, o.m); err != nil {
+			return fmt.Errorf("lakenav: save organization: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("lakenav: unknown format %q", f)
+	}
+}
+
+// LoadOrganization reads an organization saved with Save (either
+// format, sniffed by magic) and reattaches it to the lake it was built
+// over.
 func LoadOrganization(l *Lake, path string) (*Organization, error) {
 	l.ensureTopics()
-	f, err := os.Open(path)
+	m, err := core.LoadMultiDim(l.l, path)
 	if err != nil {
 		return nil, fmt.Errorf("lakenav: load organization: %w", err)
 	}
-	defer f.Close()
-	m, err := core.ReadMultiDim(l.l, f)
-	if err != nil {
-		return nil, err
-	}
 	return &Organization{m: m, lake: l}, nil
+}
+
+// Fingerprint returns a hex hash of every bit of semantic state the
+// organization carries — structure, edge order, topic vector bits,
+// accumulator bits, domains. Two organizations with equal fingerprints
+// navigate and optimize identically; the cold-start gate uses it to
+// prove the binary format decodes bit-identical to the JSON path.
+func (o *Organization) Fingerprint() string {
+	return fmt.Sprintf("%016x", o.m.Fingerprint())
 }

@@ -1,0 +1,81 @@
+#!/bin/sh
+# bench_coldstart.sh — cold-start benchmark for the binary org format.
+# Builds the lakenav CLI, generates the synthetic Socrata lake,
+# constructs and exports an organization as JSON, converts it to the
+# binfmt container, then times loading each form back with `lakenav
+# orghash` (best of $REPEAT, after an untimed warm-up inside the
+# command). Writes a JSON snapshot — default BENCH_pr8.json — with the
+# load times, the binary-vs-JSON speedup ratio, file sizes, and the
+# organization fingerprints, which tools/benchgate.sh gates on (ratio
+# > 2.0 and hash equality). `make bench-coldstart` is the friendly
+# entry point; pass a path to write elsewhere. COLDSTART_QUICK=1
+# shrinks the lake for smoke runs (the ratio gate still applies).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr8.json}
+REPEAT=${REPEAT:-5}
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+QUICK=""
+if [ "${COLDSTART_QUICK:-0}" = "1" ]; then
+	QUICK="-quick"
+fi
+
+echo "==> build lakenav"
+go build -o "$WORK/lakenav" ./cmd/lakenav
+
+echo "==> generate socrata lake${QUICK:+ (quick)}"
+"$WORK/lakenav" gen -kind socrata $QUICK -out "$WORK/lake.json"
+
+echo "==> organize (construction only) and export JSON org"
+"$WORK/lakenav" organize -lake "$WORK/lake.json" -no-opt \
+	-export "$WORK/org.json" >/dev/null
+
+echo "==> convert org to binary container"
+"$WORK/lakenav" convert -kind org -lake "$WORK/lake.json" \
+	-in "$WORK/org.json" -out "$WORK/org.bin" -to bin >/dev/null
+
+echo "==> time cold-start loads (best of $REPEAT)"
+JSON_LINE=$("$WORK/lakenav" orghash -lake "$WORK/lake.json" \
+	-org "$WORK/org.json" -repeat "$REPEAT")
+BIN_LINE=$("$WORK/lakenav" orghash -lake "$WORK/lake.json" \
+	-org "$WORK/org.bin" -repeat "$REPEAT")
+echo "$JSON_LINE"
+echo "$BIN_LINE"
+
+printf '%s\n%s\n' "$JSON_LINE" "$BIN_LINE" | awk -v out="$OUT" -v cpus="$CPUS" '
+function field(line, key,    rest) {
+	# Extract the value of "key": from a one-line JSON object emitted
+	# by `lakenav orghash` (flat, no nesting, no escaped quotes).
+	rest = line
+	if (!sub(".*\"" key "\"[ \t]*:[ \t]*", "", rest)) return ""
+	sub("[,}].*", "", rest)
+	gsub(/"/, "", rest)
+	return rest
+}
+NR == 1 { jms = field($0, "load_ms"); jb = field($0, "bytes"); jh = field($0, "hash") }
+NR == 2 { bms = field($0, "load_ms"); bb = field($0, "bytes"); bh = field($0, "hash") }
+END {
+	if (jms == "" || bms == "" || bms + 0 <= 0) {
+		printf("bench_coldstart: failed to parse orghash output\n") > "/dev/stderr"
+		exit 1
+	}
+	printf("{\n") > out
+	printf("  \"kind\": \"coldstart\",\n") >> out
+	printf("  \"cpus\": %d,\n", cpus) >> out
+	printf("  \"json_load_ms\": %s,\n", jms) >> out
+	printf("  \"bin_load_ms\": %s,\n", bms) >> out
+	printf("  \"ratio\": %.3f,\n", (jms + 0) / (bms + 0)) >> out
+	printf("  \"json_bytes\": %s,\n", jb) >> out
+	printf("  \"bin_bytes\": %s,\n", bb) >> out
+	printf("  \"json_hash\": \"%s\",\n", jh) >> out
+	printf("  \"bin_hash\": \"%s\"\n", bh) >> out
+	printf("}\n") >> out
+}
+'
+
+echo "bench_coldstart: wrote $OUT"

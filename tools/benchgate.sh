@@ -1,5 +1,18 @@
 #!/bin/sh
-# benchgate.sh — regression gate over a tools/bench.sh JSON snapshot.
+# benchgate.sh — regression gate over a bench JSON snapshot.
+#
+# Two snapshot shapes are understood, told apart by the "kind" key:
+#
+# Cold-start snapshots (tools/bench_coldstart.sh, "kind": "coldstart"):
+#   - ratio > 2.0
+#     (loading the binfmt org container must beat the JSON decode +
+#     re-import path by at least 2x — the format's reason to exist)
+#   - json_hash == bin_hash, both non-empty
+#     (the organization loaded from the binary container must be
+#     fingerprint-identical to the JSON-loaded one; a fast load of the
+#     wrong organization is a correctness bug, not a win)
+#
+# Micro-benchmark snapshots (tools/bench.sh, no "kind" key):
 #
 # Unconditional gates (any machine):
 #   - child_transitions_kernel_vs_naive  > 1.0
@@ -25,6 +38,36 @@ IN=${1:-BENCH_pr7.json}
 if [ ! -f "$IN" ]; then
 	echo "benchgate: FAIL: $IN not found — run tools/bench.sh first" >&2
 	exit 1
+fi
+
+if grep -q '"kind": *"coldstart"' "$IN"; then
+	awk -v in_file="$IN" '
+	function strip(v) { gsub(/[":,]/, "", v); return v }
+	/"ratio":/     { ratio = strip($2); have_ratio = 1 }
+	/"json_hash":/ { jh = strip($2); have_jh = 1 }
+	/"bin_hash":/  { bh = strip($2); have_bh = 1 }
+	END {
+		if (!have_ratio || !have_jh || !have_bh) {
+			printf("benchgate: FAIL missing coldstart keys in %s — did tools/bench_coldstart.sh change?\n", in_file)
+			exit 1
+		}
+		if (ratio + 0 > 2.0) {
+			printf("benchgate: OK   coldstart bin-vs-json ratio = %s\n", ratio)
+		} else {
+			printf("benchgate: FAIL coldstart bin-vs-json ratio = %s (want > 2.0)\n", ratio)
+			failed++
+		}
+		if (jh != "" && jh == bh) {
+			printf("benchgate: OK   coldstart hashes identical (%s)\n", jh)
+		} else {
+			printf("benchgate: FAIL coldstart hash mismatch: json=%s bin=%s\n", jh, bh)
+			failed++
+		}
+		if (failed > 0) exit 1
+	}
+	' "$IN"
+	echo "benchgate: OK ($IN)"
+	exit 0
 fi
 
 awk -v in_file="$IN" '

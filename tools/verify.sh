@@ -38,17 +38,19 @@ stage "lakelint ." lakelint_run
 
 stage "go test -race ./..." go test -race ./...
 
-# Fuzz smoke: a few seconds of coverage-guided input on the three
-# decode surfaces that accept untrusted bytes (organization import,
-# checkpoint resume, journal recovery). -fuzzminimizetime is capped
-# because the default 60s-per-input minimization starves short windows
-# on small machines.
+# Fuzz smoke: a few seconds of coverage-guided input on the decode
+# surfaces that accept untrusted bytes (organization import — JSON and
+# binfmt container — checkpoint resume in both encodings, journal
+# recovery). -fuzzminimizetime is capped because the default
+# 60s-per-input minimization starves short windows on small machines.
 fuzz_smoke() {
 	go test ./internal/core -fuzz FuzzReadOrg -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 5s -fuzzminimizetime 10x -run '^$'
+	go test ./internal/core -fuzz FuzzReadBinOrg -fuzztime 5s -fuzzminimizetime 10x -run '^$'
+	go test ./internal/core -fuzz FuzzReadBinCheckpoint -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/journal -fuzz FuzzReadJournal -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 }
-stage "go test -fuzz (5s smoke x3)" fuzz_smoke
+stage "go test -fuzz (5s smoke x5)" fuzz_smoke
 
 # Benchmarks compile and run: one iteration of everything keeps the
 # bench harness (and tools/bench.sh's parse targets) from bit-rotting.
