@@ -57,11 +57,15 @@ soak:
 crash-soak:
 	sh tools/crash_soak.sh
 
-# Invariant analyzer (cmd/lakelint): enforces the determinism, caching,
-# and context contracts documented in DESIGN.md §10 over every package.
-# CI passes LAKELINT_FLAGS="-json lakelint.json" to keep an artifact.
+# Invariant analyzer (cmd/lakelint): the type-aware engine of DESIGN.md
+# §15 — the six DESIGN.md §10 checks plus immutfreeze/hotpath/goroleak/
+# lockhold. The per-(check,package) result cache under .lakelint-cache
+# keeps warm runs parse-only (no go/types), so repeated `make lint`
+# costs a fraction of a cold run. CI passes
+# LAKELINT_FLAGS="-json lakelint.json -sarif lakelint.sarif" to keep
+# artifacts.
 lint:
-	$(GO) run ./cmd/lakelint $(LAKELINT_FLAGS) .
+	$(GO) run ./cmd/lakelint -cache .lakelint-cache $(LAKELINT_FLAGS) .
 
 # Fail if any file needs gofmt — same check the CI lint job runs.
 fmt-check:

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// A baseline is the ratchet that lets a new check land before every
+// pre-existing finding is fixed: known findings are recorded with a
+// reason and stop failing the build, while anything NOT in the baseline
+// still fails — so the count can only go down. Two rules keep the
+// ratchet honest:
+//
+//   - every entry must carry a non-empty reason (an unexplained escape
+//     is exit 2, not a pass), and
+//   - an entry that no longer matches any finding is stale and also
+//     exit 2: fixed findings must leave the baseline when they leave
+//     the code.
+//
+// Findings of the "directive" pseudo-check cannot be baselined — the
+// suppression machinery does not get to suppress its own audit.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry matches findings by check, file, and message substring.
+// Line numbers are deliberately absent: baselines must survive
+// unrelated edits above the finding.
+type BaselineEntry struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	// Msg is matched as a substring of the finding message ("" matches
+	// any finding of the check in the file).
+	Msg string `json:"msg,omitempty"`
+	// Reason documents why this finding is accepted. Mandatory.
+	Reason string `json:"reason"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error — an
+// empty baseline is an explicit empty document, not an absent one.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lakelint: baseline: %w", err)
+	}
+	var bl Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("lakelint: baseline %s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// Apply filters findings through the baseline. It returns the findings
+// that remain (unbaselined) plus the list of baseline integrity errors:
+// entries without a reason, entries naming the directive pseudo-check,
+// and stale entries that matched nothing.
+func (bl *Baseline) Apply(findings []Finding) ([]Finding, []string) {
+	var errs []string
+	matched := make([]bool, len(bl.Entries))
+	for i, e := range bl.Entries {
+		if strings.TrimSpace(e.Reason) == "" {
+			errs = append(errs, fmt.Sprintf("entry %d (%s in %s) has no reason; every accepted finding must be justified", i, e.Check, e.File))
+		}
+		if e.Check == directiveCheck {
+			errs = append(errs, fmt.Sprintf("entry %d baselines %q findings; the directive audit cannot be baselined", i, directiveCheck))
+		}
+	}
+	var kept []Finding
+	for _, f := range findings {
+		hit := false
+		if f.Check != directiveCheck {
+			for i, e := range bl.Entries {
+				if e.Check == f.Check && e.File == f.File && (e.Msg == "" || strings.Contains(f.Msg, e.Msg)) {
+					matched[i] = true
+					hit = true
+				}
+			}
+		}
+		if !hit {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range bl.Entries {
+		if !matched[i] && e.Check != directiveCheck {
+			errs = append(errs, fmt.Sprintf("entry %d (%s in %s) is stale — it matches no finding; remove it to keep the ratchet tight", i, e.Check, e.File))
+		}
+	}
+	return kept, errs
+}

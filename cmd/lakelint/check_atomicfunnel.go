@@ -22,7 +22,7 @@ import (
 var atomicfunnelCheck = &Check{
 	Name: "atomicfunnel",
 	Doc:  "durable files written only through the atomicio funnel",
-	Run:  runAtomicfunnel,
+	Pkg:  runAtomicfunnel,
 }
 
 // atomicfunnelWriteFns are the os functions that always imply a write.
@@ -80,51 +80,49 @@ func atomicfunnelIsBinWriteTo(p *Package, sel *ast.SelectorExpr) bool {
 	return path == "internal/binfmt" || strings.HasSuffix(path, "/internal/binfmt")
 }
 
-func runAtomicfunnel(m *Module) []Finding {
-	var out []Finding
-	for _, p := range m.Pkgs {
-		if !atomicfunnelScoped(m, p) {
-			continue
-		}
-		// binfmt.WriteFile is the one sanctioned WriteTo caller: it
-		// hands the stream to atomicio.
-		inBinfmt := atomicfunnelRel(m, p) == "internal/binfmt"
-		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
-			where := "package-level declaration"
-			if fd != nil {
-				where = funcKey(fd)
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				if !inBinfmt && atomicfunnelIsBinWriteTo(p, sel) {
-					out = append(out, finding(m, call.Pos(), "atomicfunnel",
-						"(*binfmt.Writer).WriteTo in %s bypasses the atomicio durability funnel; durable containers go through binfmt.WriteFile", where))
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || pkgNameOf(p, id) != "os" {
-					return true
-				}
-				switch name := sel.Sel.Name; {
-				case atomicfunnelWriteFns[name]:
-					out = append(out, finding(m, call.Pos(), "atomicfunnel",
-						"os.%s in %s bypasses the atomicio durability funnel; write through atomicio so a crash cannot tear the file", name, where))
-				case name == "OpenFile" && atomicfunnelOpenWrites(p, call):
-					out = append(out, finding(m, call.Pos(), "atomicfunnel",
-						"os.OpenFile with write flags in %s bypasses the atomicio durability funnel; use atomicio.OpenAppend (or WriteFile) instead", where))
-				}
-				return true
-			})
-		})
+func runAtomicfunnel(m *Module, p *Package) PkgResult {
+	if !atomicfunnelScoped(m, p) {
+		return PkgResult{}
 	}
-	return out
+	var out []Finding
+	// binfmt.WriteFile is the one sanctioned WriteTo caller: it
+	// hands the stream to atomicio.
+	inBinfmt := atomicfunnelRel(m, p) == "internal/binfmt"
+	eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+		where := "package-level declaration"
+		if fd != nil {
+			where = funcKey(fd)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !inBinfmt && atomicfunnelIsBinWriteTo(p, sel) {
+				out = append(out, finding(m, call.Pos(), "atomicfunnel",
+					"(*binfmt.Writer).WriteTo in %s bypasses the atomicio durability funnel; durable containers go through binfmt.WriteFile", where))
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pkgNameOf(p, id) != "os" {
+				return true
+			}
+			switch name := sel.Sel.Name; {
+			case atomicfunnelWriteFns[name]:
+				out = append(out, finding(m, call.Pos(), "atomicfunnel",
+					"os.%s in %s bypasses the atomicio durability funnel; write through atomicio so a crash cannot tear the file", name, where))
+			case name == "OpenFile" && atomicfunnelOpenWrites(p, call):
+				out = append(out, finding(m, call.Pos(), "atomicfunnel",
+					"os.OpenFile with write flags in %s bypasses the atomicio durability funnel; use atomicio.OpenAppend (or WriteFile) instead", where))
+			}
+			return true
+		})
+	})
+	return PkgResult{Findings: out}
 }
 
 // atomicfunnelOpenWrites reports whether an os.OpenFile call opens for

@@ -18,62 +18,60 @@ import (
 var ctxflowCheck = &Check{
 	Name: "ctxflow",
 	Doc:  "non-Context twins thinly delegate; context.Background banned elsewhere in library code",
-	Run:  runCtxflow,
+	Pkg:  runCtxflow,
 }
 
-func runCtxflow(m *Module) []Finding {
+func runCtxflow(m *Module, p *Package) PkgResult {
+	if p.Name == "main" {
+		return PkgResult{}
+	}
 	var out []Finding
-	for _, p := range m.Pkgs {
-		if p.Name == "main" {
+	// Top-level functions by name, for twin discovery.
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	isDelegator := func(fd *ast.FuncDecl) bool {
+		return fd != nil && fd.Recv == nil && funcs[fd.Name.Name+"Context"] != nil &&
+			!strings.HasSuffix(fd.Name.Name, "Context")
+	}
+
+	// Twin-delegation structure.
+	for name, fd := range funcs {
+		twin := funcs[name+"Context"]
+		if twin == nil || strings.HasSuffix(name, "Context") || !fd.Name.IsExported() || fd.Body == nil {
 			continue
 		}
-		// Top-level functions by name, for twin discovery.
-		funcs := make(map[string]*ast.FuncDecl)
-		for _, f := range p.Files {
-			for _, decl := range f.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
-					funcs[fd.Name.Name] = fd
-				}
-			}
-		}
-
-		isDelegator := func(fd *ast.FuncDecl) bool {
-			return fd != nil && fd.Recv == nil && funcs[fd.Name.Name+"Context"] != nil &&
-				!strings.HasSuffix(fd.Name.Name, "Context")
-		}
-
-		// Twin-delegation structure.
-		for name, fd := range funcs {
-			twin := funcs[name+"Context"]
-			if twin == nil || strings.HasSuffix(name, "Context") || !fd.Name.IsExported() || fd.Body == nil {
-				continue
-			}
-			out = append(out, checkDelegation(m, p, fd, twin)...)
-		}
-
-		// Background/TODO ban.
-		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
-			if isDelegator(fd) {
-				return // the delegation call is the one sanctioned use
-			}
-			where := "package-level declaration"
-			if fd != nil {
-				where = funcKey(fd)
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if name, ok := contextConstructor(p, call); ok {
-					out = append(out, finding(m, call.Pos(), "ctxflow",
-						"context.%s() in %s: library code must accept a ctx parameter (Background is reserved for thin non-Context delegating twins)", name, where))
-				}
-				return true
-			})
-		})
+		out = append(out, checkDelegation(m, p, fd, twin)...)
 	}
-	return out
+
+	// Background/TODO ban.
+	eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+		if isDelegator(fd) {
+			return // the delegation call is the one sanctioned use
+		}
+		where := "package-level declaration"
+		if fd != nil {
+			where = funcKey(fd)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := contextConstructor(p, call); ok {
+				out = append(out, finding(m, call.Pos(), "ctxflow",
+					"context.%s() in %s: library code must accept a ctx parameter (Background is reserved for thin non-Context delegating twins)", name, where))
+			}
+			return true
+		})
+	})
+	return PkgResult{Findings: out}
 }
 
 // checkDelegation verifies that fd is a thin delegation to twin.

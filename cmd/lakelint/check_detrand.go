@@ -15,7 +15,7 @@ import (
 var detrandCheck = &Check{
 	Name: "detrand",
 	Doc:  "internal/core draws randomness only from the serializable RNG; wall-clock reads allowlisted",
-	Run:  runDetrand,
+	Pkg:  runDetrand,
 }
 
 // detrandForbiddenRand are the math/rand package-level functions that
@@ -43,45 +43,43 @@ var detrandAllowedWallclock = map[string]bool{
 	"ReoptimizeLocal":     true, // stats.Duration on incremental-apply stats
 }
 
-func runDetrand(m *Module) []Finding {
-	var out []Finding
-	for _, p := range m.Pkgs {
-		if !isCorePackage(p) {
-			continue
-		}
-		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
-			key := "package-level declaration"
-			if fd != nil {
-				key = funcKey(fd)
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				qual, ok := ast.Unparen(sel.X).(*ast.Ident)
-				if !ok {
-					return true
-				}
-				switch pkgNameOf(p, qual) {
-				case "math/rand", "math/rand/v2":
-					if detrandForbiddenRand[sel.Sel.Name] {
-						hint := "draw from the injected serializable *rand.Rand (rng.go) instead"
-						if sel.Sel.Name == "NewSource" {
-							hint = "use newSearchSource/newSearchRand (rng.go); rand.NewSource state cannot be checkpointed"
-						}
-						out = append(out, finding(m, sel.Pos(), "detrand",
-							"rand.%s in %s: %s", sel.Sel.Name, key, hint))
-					}
-				case "time":
-					if detrandForbiddenTime[sel.Sel.Name] && (fd == nil || !detrandAllowedWallclock[key]) {
-						out = append(out, finding(m, sel.Pos(), "detrand",
-							"time.%s in %s: wall-clock reads in internal/core are limited to the detrand allowlist (inject a clock or extend detrandAllowedWallclock with justification)", sel.Sel.Name, key))
-					}
-				}
-				return true
-			})
-		})
+func runDetrand(m *Module, p *Package) PkgResult {
+	if !isCorePackage(p) {
+		return PkgResult{}
 	}
-	return out
+	var out []Finding
+	eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+		key := "package-level declaration"
+		if fd != nil {
+			key = funcKey(fd)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			qual, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(p, qual) {
+			case "math/rand", "math/rand/v2":
+				if detrandForbiddenRand[sel.Sel.Name] {
+					hint := "draw from the injected serializable *rand.Rand (rng.go) instead"
+					if sel.Sel.Name == "NewSource" {
+						hint = "use newSearchSource/newSearchRand (rng.go); rand.NewSource state cannot be checkpointed"
+					}
+					out = append(out, finding(m, sel.Pos(), "detrand",
+						"rand.%s in %s: %s", sel.Sel.Name, key, hint))
+				}
+			case "time":
+				if detrandForbiddenTime[sel.Sel.Name] && (fd == nil || !detrandAllowedWallclock[key]) {
+					out = append(out, finding(m, sel.Pos(), "detrand",
+						"time.%s in %s: wall-clock reads in internal/core are limited to the detrand allowlist (inject a clock or extend detrandAllowedWallclock with justification)", sel.Sel.Name, key))
+				}
+			}
+			return true
+		})
+	})
+	return PkgResult{Findings: out}
 }

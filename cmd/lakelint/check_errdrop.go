@@ -16,45 +16,43 @@ import (
 var errdropCheck = &Check{
 	Name: "errdrop",
 	Doc:  "error returns must be handled or explicitly discarded with _ =",
-	Run:  runErrdrop,
+	Pkg:  runErrdrop,
 }
 
 // errdropExemptPkgs are callee packages whose error returns are
 // conventionally ignored.
 var errdropExemptPkgs = map[string]bool{"fmt": true}
 
-func runErrdrop(m *Module) []Finding {
+func runErrdrop(m *Module, p *Package) PkgResult {
 	var out []Finding
-	for _, p := range m.Pkgs {
-		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
-			where := "package-level declaration"
-			if fd != nil {
-				where = funcKey(fd)
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				stmt, ok := n.(*ast.ExprStmt)
-				if !ok {
-					return true
-				}
-				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if !callReturnsError(p, call) {
-					return true
-				}
-				if obj := calleeObject(p, call); obj != nil && obj.Pkg() != nil &&
-					errdropExemptPkgs[obj.Pkg().Path()] {
-					return true
-				}
-				out = append(out, finding(m, stmt.Pos(), "errdrop",
-					"%s discards the error from %s; handle it or write `_ = %s` to discard deliberately",
-					where, exprString(m, call.Fun), exprString(m, call.Fun)))
+	eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+		where := "package-level declaration"
+		if fd != nil {
+			where = funcKey(fd)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
 				return true
-			})
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(p, call) {
+				return true
+			}
+			if obj := calleeObject(p, call); obj != nil && obj.Pkg() != nil &&
+				errdropExemptPkgs[obj.Pkg().Path()] {
+				return true
+			}
+			out = append(out, finding(m, stmt.Pos(), "errdrop",
+				"%s discards the error from %s; handle it or write `_ = %s` to discard deliberately",
+				where, exprString(m, call.Fun), exprString(m, call.Fun)))
+			return true
 		})
-	}
-	return out
+	})
+	return PkgResult{Findings: out}
 }
 
 // callReturnsError reports whether any result of call is an error.

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockhold enforces two mutex hygiene rules that code review keeps
+// re-litigating by hand:
+//
+//  1. A mutex may not be held across a blocking operation — a channel
+//     send/receive/select/range, time.Sleep, WaitGroup/Cond waits, file
+//     or network I/O, or a call into internal/atomicio (whose whole job
+//     is fsync). A lock held across I/O turns one slow disk into a
+//     stalled request fleet. The one sanctioned exception (the journal
+//     writer, whose lock IS the append serialization contract) carries
+//     a reasoned //lakelint:ignore.
+//  2. Acquisition order across the module's known (field-based) locks
+//     must be consistent: if one code path takes A then B, no path may
+//     take B then A. Per-package passes export "A=>B" edges as facts —
+//     both from nested acquisitions in one body and one level through
+//     module-internal callees — and the module pass flags any pair of
+//     opposing edges.
+//
+// The scan is a source-order walk with a held-lock set; function
+// literals are analyzed as fresh functions (a goroutine body does not
+// inherit its spawner's locks — it races against them). deferred
+// Unlocks keep the lock held to the end of the function, which is
+// exactly what they do at run time. Test files are analyzed too.
+var lockholdCheck = &Check{
+	Name:   "lockhold",
+	Doc:    "no mutex held across blocking ops; lock acquisition order consistent module-wide",
+	Pkg:    runLockhold,
+	Module: lockholdModule,
+}
+
+// lockholdOSFns are the package-level os functions that touch the
+// filesystem.
+var lockholdOSFns = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "ReadFile": true,
+	"WriteFile": true, "Rename": true, "Remove": true, "RemoveAll": true,
+	"ReadDir": true, "Pipe": true, "Mkdir": true, "MkdirAll": true,
+}
+
+// lockholdFileOps are the *os.File methods that block on the disk.
+var lockholdFileOps = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Sync": true, "Close": true, "Seek": true, "Truncate": true,
+	"ReadFrom": true, "WriteTo": true,
+}
+
+// heldLock is one currently-held mutex.
+type heldLock struct {
+	pos     token.Pos
+	typeKey string // "pkgpath.Type.field" identity, "" for local locks
+}
+
+func runLockhold(m *Module, p *Package) PkgResult {
+	var res PkgResult
+	eachFuncBodyAll(p, func(_ string, _ bool, fd *ast.FuncDecl, body ast.Node) {
+		name := "package-level declaration"
+		if fd != nil {
+			name = funcKey(fd)
+		}
+		b, ok := body.(*ast.BlockStmt)
+		if !ok {
+			return // GenDecl initializers cannot hold locks across statements
+		}
+		lockholdScan(m, p, name, b, &res)
+	})
+	return PkgResult{Findings: res.Findings, Facts: res.Facts}
+}
+
+// lockholdScan walks one function body in source order, tracking the
+// held-lock set; nested function literals are queued and scanned as
+// fresh functions.
+func lockholdScan(m *Module, p *Package, name string, body *ast.BlockStmt, res *PkgResult) {
+	queue := []*ast.BlockStmt{body}
+	for qi := 0; qi < len(queue); qi++ {
+		held := make(map[string]heldLock)
+		ast.Inspect(queue[qi], func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				if qi == 0 || e.Body != queue[qi] { // don't re-enqueue the root of this scan
+					queue = append(queue, e.Body)
+				}
+				return false
+			case *ast.GoStmt:
+				// Spawning never blocks; the goroutine body is scanned as
+				// its own function (via the FuncLit case or its own decl).
+				if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+					queue = append(queue, lit.Body)
+				}
+				return false
+			case *ast.DeferStmt:
+				// A deferred Unlock keeps the lock held to function end —
+				// modeled by simply not releasing. Other deferred work runs
+				// after the body, outside this scan's order; literals inside
+				// still get their own scan.
+				if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+					queue = append(queue, lit.Body)
+				}
+				return false
+			case *ast.CallExpr:
+				lockholdCall(m, p, name, e, held, res)
+				return true
+			case *ast.SendStmt:
+				lockholdBlocked(m, p, name, e.Pos(), "a channel send", held, res)
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW {
+					lockholdBlocked(m, p, name, e.Pos(), "a channel receive", held, res)
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range e.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if hasDefault {
+					return true // non-blocking poll
+				}
+				if len(held) > 0 {
+					lockholdBlocked(m, p, name, e.Pos(), "a blocking select", held, res)
+					return false // one finding for the select, not one per comm clause
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[e.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						lockholdBlocked(m, p, name, e.Pos(), "a channel range", held, res)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockholdCall handles one call in source order: lock transitions,
+// blocking callees, and lock-order edges through module callees.
+func lockholdCall(m *Module, p *Package, name string, call *ast.CallExpr, held map[string]heldLock, res *PkgResult) {
+	if method, lockExpr, ok := lockholdLockCall(p, call); ok {
+		key := exprString(m, lockExpr)
+		switch method {
+		case "Lock", "RLock":
+			if prev, dup := held[key]; dup && method == "Lock" {
+				pos := m.Fset.Position(prev.pos)
+				res.Findings = append(res.Findings, finding(m, call.Pos(), "lockhold",
+					"%s re-locks %s already locked at %s:%d; this self-deadlocks", name, key, pos.Filename, pos.Line))
+				return
+			}
+			tk := lockholdTypeKey(m, p, lockExpr)
+			for _, h := range held {
+				if h.typeKey != "" && tk != "" && h.typeKey != tk {
+					res.Facts = append(res.Facts, fact(m, call.Pos(), "lockedge", h.typeKey+"=>"+tk))
+				}
+			}
+			held[key] = heldLock{pos: call.Pos(), typeKey: tk}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if desc, blocking := lockholdBlockingCallee(m, p, call); blocking {
+		lockholdBlocked(m, p, name, call.Pos(), desc, held, res)
+		return
+	}
+	// One level through module-internal callees: locks the callee takes
+	// order after every lock currently held here.
+	if obj := calleeObject(p, call); obj != nil {
+		for _, tk := range m.lockSets[obj] {
+			for _, h := range held {
+				if h.typeKey != "" && h.typeKey != tk {
+					res.Facts = append(res.Facts, fact(m, call.Pos(), "lockedge", h.typeKey+"=>"+tk))
+				}
+			}
+		}
+	}
+}
+
+// lockholdBlocked books a finding when any lock is held at a blocking
+// operation.
+func lockholdBlocked(m *Module, p *Package, name string, pos token.Pos, what string, held map[string]heldLock, res *PkgResult) {
+	if len(held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	res.Findings = append(res.Findings, finding(m, pos, "lockhold",
+		"%s holds %s across %s; release the lock first (or copy what you need out of the critical section)",
+		name, strings.Join(keys, ", "), what))
+}
+
+// lockholdLockCall matches calls to the sync mutex methods, returning
+// the method name and the expression the lock lives on. Embedded
+// mutexes resolve here too: the method object still belongs to package
+// sync.
+func lockholdLockCall(p *Package, call *ast.CallExpr) (string, ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return fn.Name(), sel.X, true
+	}
+	return "", nil, false
+}
+
+// lockholdTypeKey derives the module-wide identity of a lock for the
+// acquisition-order graph: "pkgpath.Type.field" when the lock is a
+// field of a named type. Locks without that shape (locals, globals) get
+// no identity and participate only in the hold-across-blocking rule.
+func lockholdTypeKey(m *Module, p *Package, lockExpr ast.Expr) string {
+	sel, ok := ast.Unparen(lockExpr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return ""
+	}
+	key := typeKey(m, named)
+	if key == "" {
+		return ""
+	}
+	return key + "." + sel.Sel.Name
+}
+
+// lockholdBlockingCallee classifies callees that can block: clock and
+// sync waits, filesystem and network I/O, and the atomicio fsync
+// funnel. io.Reader/io.Writer interface calls are deliberately not in
+// the set — an in-memory buffer behind an interface is the common case,
+// and flagging it would teach people to ignore the check.
+func lockholdBlockingCallee(m *Module, p *Package, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(p, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case path == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case path == "sync" && name == "Wait":
+		return "sync." + name + " (WaitGroup/Cond)", true
+	case path == "os" && lockholdOSFns[name]:
+		return "os." + name, true
+	case path == "os" && lockholdFileOps[name] && lockholdIsFileMethod(obj):
+		return "(*os.File)." + name, true
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		return path + "." + name, true
+	case path == m.Path+"/internal/atomicio" || strings.HasSuffix(path, "/internal/atomicio") || path == "internal/atomicio":
+		return "internal/atomicio." + name + " (fsync)", true
+	}
+	return "", false
+}
+
+// lockholdIsFileMethod reports whether obj is a method with *os.File
+// (or os.File) receiver.
+func lockholdIsFileMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "File"
+}
+
+// lockholdModule flags inconsistent acquisition order: an A=>B edge
+// somewhere and a B=>A edge somewhere else. One finding per opposing
+// pair, at the earliest site of each direction.
+func lockholdModule(m *Module, facts []Fact) []Finding {
+	firstEdge := make(map[string]Fact)
+	var keys []string
+	for _, f := range facts {
+		if f.Kind != "lockedge" {
+			continue
+		}
+		if prev, ok := firstEdge[f.Key]; !ok || f.File < prev.File || (f.File == prev.File && f.Line < prev.Line) {
+			firstEdge[f.Key] = f
+			if !ok {
+				keys = append(keys, f.Key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	var out []Finding
+	seen := make(map[string]bool)
+	for _, key := range keys {
+		a, b, ok := strings.Cut(key, "=>")
+		if !ok || seen[key] {
+			continue
+		}
+		rev := b + "=>" + a
+		opp, has := firstEdge[rev]
+		if !has {
+			continue
+		}
+		seen[key], seen[rev] = true, true
+		site := firstEdge[key]
+		out = append(out,
+			Finding{File: site.File, Line: site.Line, Col: site.Col, Check: "lockhold",
+				Msg: fmt.Sprintf("inconsistent lock order: %s acquired before %s here, but %s before %s at %s:%d; pick one order or deadlock",
+					a, b, b, a, opp.File, opp.Line)},
+			Finding{File: opp.File, Line: opp.Line, Col: opp.Col, Check: "lockhold",
+				Msg: fmt.Sprintf("inconsistent lock order: %s acquired before %s here, but %s before %s at %s:%d; pick one order or deadlock",
+					b, a, a, b, site.File, site.Line)})
+	}
+	return out
+}
+
+// buildLockSets precomputes, per module function, the identities of
+// the locks its body acquires — the table lockholdCall consults for
+// one-level callee resolution. Built single-threaded before the
+// parallel fan-out.
+func buildLockSets(m *Module) {
+	if m.lockSets != nil {
+		return
+	}
+	m.buildFuncIndex()
+	m.lockSets = make(map[types.Object][]string)
+	for obj, fd := range m.funcDecls {
+		p := m.funcPkgs[obj]
+		if fd.Body == nil || p == nil {
+			continue
+		}
+		set := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if method, lockExpr, ok := lockholdLockCall(p, call); ok && (method == "Lock" || method == "RLock") {
+				if tk := lockholdTypeKey(m, p, lockExpr); tk != "" {
+					set[tk] = true
+				}
+			}
+			return true
+		})
+		if len(set) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		m.lockSets[obj] = keys
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -18,9 +19,10 @@ import (
 // grep-stable namespace. Computed names (prefix + variable) are
 // outside the check's reach and rely on review.
 var obsnamesCheck = &Check{
-	Name: "obsnames",
-	Doc:  "obs metric-name literals match ^[a-z]+(\\.[a-z_]+)+$ and are unique module-wide",
-	Run:  runObsnames,
+	Name:   "obsnames",
+	Doc:    "obs metric-name literals match ^[a-z]+(\\.[a-z_]+)+$ and are unique module-wide",
+	Pkg:    runObsnames,
+	Module: obsnamesModule,
 }
 
 // obsNamePattern is the canonical metric-name shape: a lower-case
@@ -33,52 +35,83 @@ var obsConstructors = map[string]bool{
 	"Counter": true, "Gauge": true, "FloatGauge": true, "Histogram": true,
 }
 
-func runObsnames(m *Module) []Finding {
-	var out []Finding
-	type site struct {
-		pos  token.Pos
-		file string
-		line int
-	}
-	first := make(map[string]site)
-	var names []string
-
-	for _, p := range m.Pkgs {
-		for _, f := range p.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || len(call.Args) == 0 {
-					return true
-				}
-				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-				if !ok || !obsConstructors[sel.Sel.Name] || !isObsRegistry(p, sel) {
-					return true
-				}
-				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
-				if !ok || lit.Kind != token.STRING {
-					return true // computed name; out of static reach
-				}
-				name, err := strconv.Unquote(lit.Value)
-				if err != nil {
-					return true
-				}
-				if !obsNamePattern.MatchString(name) {
-					out = append(out, finding(m, lit.Pos(), "obsnames",
-						"metric name %q does not match ^[a-z]+(\\.[a-z_]+)+$ (dotted lower-case, e.g. \"core.evaluator.builds_total\")", name))
-				}
-				if prev, dup := first[name]; dup {
-					out = append(out, finding(m, lit.Pos(), "obsnames",
-						"metric name %q already registered at %s:%d; names must be unique across the module", name, prev.file, prev.line))
-				} else {
-					pos := m.Fset.Position(lit.Pos())
-					first[name] = site{pos: lit.Pos(), file: pos.Filename, line: pos.Line}
-					names = append(names, name)
-				}
-				return true
-			})
+// runObsnames flags malformed names locally and exports every literal
+// registration as a "metric" fact; the module pass below checks
+// uniqueness across packages, since no single package can see a
+// collision with another.
+func runObsnames(m *Module, p *Package) PkgResult {
+	var res PkgResult
+	for i, f := range p.Files {
+		if p.Test[i] {
+			// Tests register throwaway names on private registries (the
+			// documented legacy-check exemption); only production
+			// registrations feed the exported namespace.
+			continue
 		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !obsConstructors[sel.Sel.Name] || !isObsRegistry(p, sel) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // computed name; out of static reach
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !obsNamePattern.MatchString(name) {
+				res.Findings = append(res.Findings, finding(m, lit.Pos(), "obsnames",
+					"metric name %q does not match ^[a-z]+(\\.[a-z_]+)+$ (dotted lower-case, e.g. \"core.evaluator.builds_total\")", name))
+			}
+			res.Facts = append(res.Facts, fact(m, lit.Pos(), "metric", name))
+			return true
+		})
 	}
-	sort.Strings(names) // deterministic iteration kept for future cross-name rules
+	return res
+}
+
+// obsnamesModule enforces module-wide uniqueness over the metric facts:
+// the earliest registration (by position) is canonical and every later
+// one is a finding referencing it.
+func obsnamesModule(m *Module, facts []Fact) []Finding {
+	sorted := make([]Fact, len(facts))
+	copy(sorted, facts)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	first := make(map[string]Fact)
+	var out []Finding
+	for _, f := range sorted {
+		if f.Kind != "metric" {
+			continue
+		}
+		prev, dup := first[f.Key]
+		if !dup {
+			first[f.Key] = f
+			continue
+		}
+		out = append(out, Finding{
+			File:  f.File,
+			Line:  f.Line,
+			Col:   f.Col,
+			Check: "obsnames",
+			Msg: fmt.Sprintf("metric name %q already registered at %s:%d; names must be unique across the module",
+				f.Key, prev.File, prev.Line),
+		})
+	}
 	return out
 }
 

@@ -15,7 +15,7 @@ import (
 var topicfunnelCheck = &Check{
 	Name: "topicfunnel",
 	Doc:  "State.topic/topicNorm written only through the setTopic funnel",
-	Run:  runTopicfunnel,
+	Pkg:  runTopicfunnel,
 }
 
 // topicFields are the cache pair the funnel protects.
@@ -27,61 +27,59 @@ var topicfunnelAllowed = map[string]bool{
 	"Org.Validate":   true,
 }
 
-func runTopicfunnel(m *Module) []Finding {
+func runTopicfunnel(m *Module, p *Package) PkgResult {
 	var out []Finding
-	for _, p := range m.Pkgs {
-		if !isCorePackage(p) {
-			continue
+	if !isCorePackage(p) {
+		return PkgResult{}
+	}
+	eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
+		if fd != nil && topicfunnelAllowed[funcKey(fd)] {
+			return
 		}
-		eachFuncBody(p, func(_ string, fd *ast.FuncDecl, body ast.Node) {
-			if fd != nil && topicfunnelAllowed[funcKey(fd)] {
-				return
-			}
-			where := "package-level declaration"
-			if fd != nil {
-				where = funcKey(fd)
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				switch st := n.(type) {
-				case *ast.AssignStmt:
-					for _, lhs := range st.Lhs {
-						if name, ok := stateTopicField(p, lhs); ok {
-							out = append(out, finding(m, lhs.Pos(), "topicfunnel",
-								"State.%s assigned in %s; all topic writes must go through setTopic so the cached norm stays consistent", name, where))
-						}
-					}
-				case *ast.IncDecStmt:
-					if name, ok := stateTopicField(p, st.X); ok {
-						out = append(out, finding(m, st.Pos(), "topicfunnel",
-							"State.%s modified in %s; all topic writes must go through setTopic", name, where))
-					}
-				case *ast.UnaryExpr:
-					if st.Op.String() == "&" {
-						if name, ok := stateTopicField(p, st.X); ok {
-							out = append(out, finding(m, st.Pos(), "topicfunnel",
-								"address of State.%s taken in %s; a retained pointer would bypass the setTopic funnel", name, where))
-						}
-					}
-				case *ast.CompositeLit:
-					if !isStateLiteral(p, st) {
-						return true
-					}
-					for _, el := range st.Elts {
-						kv, ok := el.(*ast.KeyValueExpr)
-						if !ok {
-							continue
-						}
-						if key, ok := kv.Key.(*ast.Ident); ok && topicFields[key.Name] {
-							out = append(out, finding(m, kv.Pos(), "topicfunnel",
-								"State literal initializes %s in %s; construct the state and call setTopic instead", key.Name, where))
-						}
+		where := "package-level declaration"
+		if fd != nil {
+			where = funcKey(fd)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if name, ok := stateTopicField(p, lhs); ok {
+						out = append(out, finding(m, lhs.Pos(), "topicfunnel",
+							"State.%s assigned in %s; all topic writes must go through setTopic so the cached norm stays consistent", name, where))
 					}
 				}
-				return true
-			})
+			case *ast.IncDecStmt:
+				if name, ok := stateTopicField(p, st.X); ok {
+					out = append(out, finding(m, st.Pos(), "topicfunnel",
+						"State.%s modified in %s; all topic writes must go through setTopic", name, where))
+				}
+			case *ast.UnaryExpr:
+				if st.Op.String() == "&" {
+					if name, ok := stateTopicField(p, st.X); ok {
+						out = append(out, finding(m, st.Pos(), "topicfunnel",
+							"address of State.%s taken in %s; a retained pointer would bypass the setTopic funnel", name, where))
+					}
+				}
+			case *ast.CompositeLit:
+				if !isStateLiteral(p, st) {
+					return true
+				}
+				for _, el := range st.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && topicFields[key.Name] {
+						out = append(out, finding(m, kv.Pos(), "topicfunnel",
+							"State literal initializes %s in %s; construct the state and call setTopic instead", key.Name, where))
+					}
+				}
+			}
+			return true
 		})
-	}
-	return out
+	})
+	return PkgResult{Findings: out}
 }
 
 // stateTopicField reports whether expr selects the topic or topicNorm

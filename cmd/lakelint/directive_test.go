@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		kind   string
+		checks []string
+		reason string
+		errSub string // non-empty: parse must fail with this substring
+		notDir bool   // not a lakelint directive at all: (nil, nil)
+	}{
+		{text: "// plain comment", notDir: true},
+		{text: "//go:build linux", notDir: true},
+		{text: "// lakelint:ignore x -- spaced prefix is not a directive", notDir: true},
+		{text: "//lakelint:immutable", kind: "immutable"},
+		{text: "//lakelint:hotpath", kind: "hotpath"},
+		{text: "lakelint:hotpath", kind: "hotpath"}, // leading // optional
+		{text: "//lakelint:immutable frozen", errSub: "takes no arguments"},
+		{text: "//lakelint:hotpath fast", errSub: "takes no arguments"},
+		{
+			text:   "//lakelint:ignore errdrop -- tool writes are best-effort",
+			kind:   "ignore",
+			checks: []string{"errdrop"},
+			reason: "tool writes are best-effort",
+		},
+		{
+			text:   "//lakelint:ignore errdrop,goroleak -- both reviewed in PR 9",
+			kind:   "ignore",
+			checks: []string{"errdrop", "goroleak"},
+			reason: "both reviewed in PR 9",
+		},
+		{text: "//lakelint:ignore errdrop", errSub: "non-empty reason"},
+		{text: "//lakelint:ignore errdrop --", errSub: "non-empty reason"},
+		{text: "//lakelint:ignore errdrop --   ", errSub: "non-empty reason"},
+		{text: "//lakelint:ignore -- a reason but no check", errSub: "names no check"},
+		{text: "//lakelint:ignore , -- a reason but no check", errSub: "names no check"},
+		{text: "//lakelint:ignore nosuchcheck -- reason", errSub: "unknown check"},
+		{text: "//lakelint:ignore directive -- nice try", errSub: "cannot suppress"},
+		{text: "//lakelint:", errSub: "empty lakelint directive"},
+		{text: "//lakelint:frobnicate", errSub: "unknown lakelint directive"},
+	}
+	for _, tc := range cases {
+		d, err := ParseDirective(tc.text)
+		if tc.notDir {
+			if d != nil || err != nil {
+				t.Errorf("ParseDirective(%q) = %v, %v; want nil, nil", tc.text, d, err)
+			}
+			continue
+		}
+		if tc.errSub != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Errorf("ParseDirective(%q) error = %v; want substring %q", tc.text, err, tc.errSub)
+			}
+			if d != nil {
+				t.Errorf("ParseDirective(%q) returned both a directive and an error", tc.text)
+			}
+			continue
+		}
+		if err != nil || d == nil {
+			t.Errorf("ParseDirective(%q) = %v, %v; want a %s directive", tc.text, d, err, tc.kind)
+			continue
+		}
+		if d.Kind != tc.kind {
+			t.Errorf("ParseDirective(%q).Kind = %q, want %q", tc.text, d.Kind, tc.kind)
+		}
+		if tc.kind == "ignore" {
+			if strings.Join(d.Checks, ",") != strings.Join(tc.checks, ",") {
+				t.Errorf("ParseDirective(%q).Checks = %v, want %v", tc.text, d.Checks, tc.checks)
+			}
+			if d.Reason != tc.reason {
+				t.Errorf("ParseDirective(%q).Reason = %q, want %q", tc.text, d.Reason, tc.reason)
+			}
+		}
+	}
+}
+
+// FuzzParseDirective pins the parser's safety contract on arbitrary
+// comment text: it never panics, never returns both a directive and an
+// error, classifies every lakelint:-prefixed comment one way or the
+// other, and any ignore directive it accepts satisfies the invariants
+// the suppression machinery relies on (known checks only, never the
+// directive pseudo-check, a non-empty reason).
+func FuzzParseDirective(f *testing.F) {
+	for _, seed := range []string{
+		"// plain comment",
+		"//lakelint:immutable",
+		"//lakelint:hotpath fast",
+		"//lakelint:ignore errdrop -- reason",
+		"//lakelint:ignore errdrop,goroleak--no space around the cut",
+		"//lakelint:ignore , -- r",
+		"//lakelint:ignore directive -- x",
+		"//lakelint:",
+		"///lakelint:ignore errdrop -- extra slash",
+		"//lakelint:ignore   -- unicode space",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDirective(text)
+		if d != nil && err != nil {
+			t.Fatalf("ParseDirective(%q) returned both a directive and an error", text)
+		}
+		isDirective := strings.HasPrefix("//"+strings.TrimPrefix(text, "//"), directivePrefix)
+		if isDirective && d == nil && err == nil {
+			t.Fatalf("ParseDirective(%q) ignored a lakelint:-prefixed comment", text)
+		}
+		if !isDirective && (d != nil || err != nil) {
+			t.Fatalf("ParseDirective(%q) = %v, %v for a non-directive comment", text, d, err)
+		}
+		if d == nil || d.Kind != "ignore" {
+			return
+		}
+		if len(d.Checks) == 0 {
+			t.Fatalf("ParseDirective(%q) accepted an ignore naming no check", text)
+		}
+		if strings.TrimSpace(d.Reason) == "" {
+			t.Fatalf("ParseDirective(%q) accepted an ignore without a reason", text)
+		}
+		for _, c := range d.Checks {
+			if c == directiveCheck {
+				t.Fatalf("ParseDirective(%q) accepted an ignore of the directive audit", text)
+			}
+			if !knownCheckName(c) {
+				t.Fatalf("ParseDirective(%q) accepted unknown check %q", text, c)
+			}
+		}
+	})
+}

@@ -3,10 +3,13 @@
 // x/tools) that mechanically enforces the contracts the rest of the
 // codebase documents in comments — the setTopic cache funnel, the
 // serializable-RNG determinism rule, the Context-first API surface,
-// the no-dropped-errors posture, and the obs metric-name scheme.
+// the no-dropped-errors posture, the obs metric-name scheme, the
+// atomicio durability funnel, and (type-aware, since v2) frozen-
+// snapshot immutability, hot-path allocation freedom, goroutine
+// join/cancel discipline, and mutex hold/ordering hygiene.
 // `make lint` runs it over the whole module; CI gates merges on it.
-// DESIGN.md §10 lists each check, the contract it pins, and how to
-// extend the suite.
+// DESIGN.md §10 and §15 list each check, the contract it pins, and
+// how to extend the suite.
 package main
 
 import (
@@ -36,14 +39,45 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Msg)
 }
 
+// Fact is one cross-package observation a per-package pass exports for
+// its check's module pass: a metric-name registration, a lock-order
+// edge. Facts round-trip through the result cache as JSON, so they may
+// carry only plain data — no AST or types handles.
+type Fact struct {
+	// Kind is a check-defined discriminator.
+	Kind string `json:"kind"`
+	// Key is the fact's identity (a metric name, an "A=>B" lock edge).
+	Key string `json:"key"`
+	// File/Line/Col locate the fact for module-pass findings.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// PkgResult is what one check produces for one package: local findings
+// plus facts for the check's module pass. It is the unit the content-
+// hash cache stores.
+type PkgResult struct {
+	Findings []Finding `json:"findings"`
+	Facts    []Fact    `json:"facts,omitempty"`
+}
+
 // Check is one invariant analyzer.
 type Check struct {
 	// Name is the identifier used in findings and the -checks flag.
 	Name string
 	// Doc is the one-line contract description shown by -list.
 	Doc string
-	// Run analyzes the module and returns its findings (unsorted).
-	Run func(m *Module) []Finding
+	// Pkg analyzes one package. It must be a pure function of the
+	// package's sources plus its transitive dependencies' sources —
+	// that is the contract that makes the per-(check,package) result
+	// cache sound. Runs concurrently across packages.
+	Pkg func(m *Module, p *Package) PkgResult
+	// Module, when non-nil, runs once after every package pass with the
+	// merged facts of this check (cached and fresh alike), for rules
+	// that need cross-package context: name uniqueness, lock-order
+	// consistency.
+	Module func(m *Module, facts []Fact) []Finding
 }
 
 // AllChecks is the invariant suite, in documentation order.
@@ -54,30 +88,22 @@ var AllChecks = []*Check{
 	errdropCheck,
 	obsnamesCheck,
 	atomicfunnelCheck,
+	immutfreezeCheck,
+	hotpathCheck,
+	goroleakCheck,
+	lockholdCheck,
 }
 
 // RunChecks runs the named checks (nil = all) over a loaded module and
-// returns the merged findings sorted by position then check name.
+// returns the merged findings sorted by position then check name. It
+// is Analyze without a cache or baseline — the entry point the fixture
+// tests use.
 func RunChecks(m *Module, names []string) ([]Finding, error) {
-	enabled := AllChecks
-	if names != nil {
-		byName := make(map[string]*Check, len(AllChecks))
-		for _, c := range AllChecks {
-			byName[c.Name] = c
-		}
-		enabled = nil
-		for _, n := range names {
-			c, ok := byName[n]
-			if !ok {
-				return nil, fmt.Errorf("lakelint: unknown check %q", n)
-			}
-			enabled = append(enabled, c)
-		}
-	}
-	var out []Finding
-	for _, c := range enabled {
-		out = append(out, c.Run(m)...)
-	}
+	return Analyze(m, Options{Checks: names})
+}
+
+// sortFindings orders findings by position then check name.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -89,9 +115,11 @@ func RunChecks(m *Module, names []string) ([]Finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
 	})
-	return out, nil
 }
 
 // finding books one violation at pos.
@@ -106,10 +134,23 @@ func finding(m *Module, pos token.Pos, check, format string, args ...any) Findin
 	}
 }
 
+// fact books one cross-package observation at pos.
+func fact(m *Module, pos token.Pos, kind, key string) Fact {
+	p := m.Fset.Position(pos)
+	return Fact{Kind: kind, Key: key, File: p.Filename, Line: p.Line, Col: p.Column}
+}
+
 // isCorePackage reports whether pkg is the determinism-critical core
 // package (matched by path suffix so fixture trees can replicate it).
 func isCorePackage(p *Package) bool {
-	return p.Path == "internal/core" || strings.HasSuffix(p.Path, "/internal/core")
+	path := strings.TrimSuffix(p.Path, " [test]")
+	return path == "internal/core" || strings.HasSuffix(path, "/internal/core")
+}
+
+// isServePackage reports whether pkg is the serving fast-path package.
+func isServePackage(p *Package) bool {
+	path := strings.TrimSuffix(p.Path, " [test]")
+	return path == "internal/serve" || strings.HasSuffix(path, "/internal/serve")
 }
 
 // funcKey names a declared function the way allowlists refer to it:
@@ -152,6 +193,34 @@ func calleeObject(p *Package, call *ast.CallExpr) types.Object {
 	return nil
 }
 
+// namedOf unwraps pointers and aliases down to the named type of t, or
+// nil when t has none.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeKey renders a named type as the "pkgpath.Name" key the directive
+// index uses, with the package path module-relative so fixtures can
+// replicate annotated packages. Returns "" for types outside any
+// package (builtins).
+func typeKey(m *Module, named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if path == m.Path {
+		path = ""
+	} else if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		path = rest
+	}
+	return path + "." + obj.Name()
+}
+
 // exprString renders a (small) expression for a finding message.
 func exprString(m *Module, e ast.Expr) string {
 	var sb strings.Builder
@@ -161,20 +230,39 @@ func exprString(m *Module, e ast.Expr) string {
 	return sb.String()
 }
 
-// eachFuncBody walks every function declaration of a package, giving
-// the callback the declaring file, the declaration, and its allowlist
-// key. Package-level variable initializers are visited with fd == nil.
+// eachFuncBody walks the function declarations of a package's
+// production files, giving the callback the declaring file, the
+// declaration, and its allowlist key. Package-level variable
+// initializers are visited with fd == nil. Test files are skipped:
+// the legacy style checks exempt them by documented contract (use
+// eachFuncBodyAll for the type-aware checks, which do not).
 func eachFuncBody(p *Package, fn func(filename string, fd *ast.FuncDecl, node ast.Node)) {
+	eachFuncBodyWhere(p, false, func(filename string, _ bool, fd *ast.FuncDecl, node ast.Node) {
+		fn(filename, fd, node)
+	})
+}
+
+// eachFuncBodyAll is eachFuncBody over production and test files
+// alike; the callback additionally learns whether the file is a test
+// file.
+func eachFuncBodyAll(p *Package, fn func(filename string, isTest bool, fd *ast.FuncDecl, node ast.Node)) {
+	eachFuncBodyWhere(p, true, fn)
+}
+
+func eachFuncBodyWhere(p *Package, includeTests bool, fn func(filename string, isTest bool, fd *ast.FuncDecl, node ast.Node)) {
 	for i, f := range p.Files {
+		if p.Test[i] && !includeTests {
+			continue
+		}
 		name := p.Filenames[i]
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
 				if d.Body != nil {
-					fn(name, d, d.Body)
+					fn(name, p.Test[i], d, d.Body)
 				}
 			case *ast.GenDecl:
-				fn(name, nil, d)
+				fn(name, p.Test[i], nil, d)
 			}
 		}
 	}

@@ -117,6 +117,21 @@ func TestAtomicfunnelFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "atomicfunnel"))
 }
 
+func TestImmutfreezeFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "immutfreeze")) }
+
+func TestHotpathFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "hotpath")) }
+
+func TestGoroleakFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "goroleak")) }
+
+func TestLockholdFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "lockhold")) }
+
+// TestTestfilesFixture pins the loader contract: _test.go files (both
+// in-package and external test packages) are analyzed under the same
+// rules as production code by the new checks, the legacy checks keep
+// their test-file exemption, and build-constrained files are excluded
+// exactly as go build excludes them.
+func TestTestfilesFixture(t *testing.T) { runFixture(t, filepath.Join("testdata", "testfiles")) }
+
 // TestRepoClean is the gate that makes the suite mean something: the
 // repository itself must hold every invariant the checks enforce.
 func TestRepoClean(t *testing.T) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"go/ast"
 	gobuild "go/build"
@@ -14,26 +15,48 @@ import (
 	"strings"
 )
 
-// Package is one loaded, type-checked, non-test package of the module.
+// Package is one loaded package of the module: the production sources
+// plus, in the same type-check unit, its in-package _test.go files, so
+// test code is analyzed under the same type-aware rules as production
+// code. An external test package (package foo_test) becomes its own
+// Package whose Path carries a " [test]" suffix.
 type Package struct {
-	// Path is the package's import path.
+	// Path is the package's import path (external test packages append
+	// " [test]", which no import statement can reference).
 	Path string
 	// Dir is the package directory relative to the module root.
 	Dir string
 	// Name is the package name ("main" for commands).
 	Name string
-	// Files and Filenames are the parsed non-test sources, parallel
-	// slices in lexical filename order. Filenames are relative to the
-	// module root, which is also how positions render in findings.
+	// Files and Filenames are the parsed sources, parallel slices in
+	// lexical filename order (production files first, then in-package
+	// test files). Filenames are relative to the module root, which is
+	// also how positions render in findings.
 	Files     []*ast.File
 	Filenames []string
-	// Types and Info carry the go/types results for the package.
+	// Test marks, parallel to Files, which files are _test.go files.
+	// The legacy style checks keep their documented test exemption;
+	// the type-aware invariant checks analyze test files too.
+	Test []bool
+	// Imports is the sorted set of module-internal import paths across
+	// all files, used for the content-hash dependency closure.
+	Imports []string
+	// SrcHash digests the package's file names and bytes; combined with
+	// the dependency closure it keys the analysis result cache.
+	SrcHash [sha256.Size]byte
+	// Types and Info carry the go/types results for the package; they
+	// are nil until Module.TypeCheck runs.
 	Types *types.Package
 	Info  *types.Info
 }
 
-// Module is a loaded module: every non-test package, type-checked
-// against real stdlib and module types.
+// IsTestFile reports whether the i'th file of the package is a test
+// file.
+func (p *Package) IsTestFile(i int) bool { return p.Test[i] }
+
+// Module is a loaded module: every package including test files,
+// parsed immediately and type-checked on demand (TypeCheck) against
+// real stdlib and module types.
 type Module struct {
 	// Path is the module path from go.mod.
 	Path string
@@ -43,18 +66,30 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs is every loaded package in import-path order.
 	Pkgs []*Package
+
+	// Directives indexes every //lakelint: comment in the module; it is
+	// built by Analyze before any check runs.
+	Directives *DirectiveIndex
+
+	typechecked bool
+
+	// funcDecls maps function/method objects to their declarations,
+	// built on first use after type-checking (goroleak and lockhold
+	// resolve spawned or called bodies across packages through it);
+	// funcPkgs carries each declaration's defining package, whose
+	// types.Info is the one that can resolve identifiers in its body.
+	funcDecls map[types.Object]*ast.FuncDecl
+	funcPkgs  map[types.Object]*Package
+	// lockSets caches, per function object, the type-based identities
+	// of every mutex the function's body acquires (see check_lockhold).
+	lockSets map[types.Object][]string
 }
 
-// LoadModule parses and type-checks every non-test package under dir
-// (which must contain go.mod). It is a stdlib-only substitute for
-// x/tools' packages.Load: module-internal imports resolve against the
-// packages loaded here, and everything else (the stdlib) resolves
-// through go/importer's source importer, which type-checks $GOROOT
-// sources directly — no compiled export data, no `go list` subprocess.
-//
-// Test files (_test.go) are excluded: every lakelint check exempts
-// them, and excluding them up front keeps external test packages and
-// test-only imports out of the load graph.
+// LoadModule parses every package under dir (which must contain
+// go.mod), including _test.go files, respecting build constraints. It
+// is a stdlib-only substitute for x/tools' packages.Load. Parsing is
+// eager; type-checking is deferred to (*Module).TypeCheck so a fully
+// cached analysis run never pays for it.
 func LoadModule(dir string) (*Module, error) {
 	absDir, err := filepath.Abs(dir)
 	if err != nil {
@@ -77,9 +112,6 @@ func LoadModule(dir string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := typecheckModule(fset, modPath, pkgs); err != nil {
-		return nil, err
-	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return &Module{Path: modPath, Dir: absDir, Fset: fset, Pkgs: pkgs}, nil
 }
@@ -99,7 +131,7 @@ func readModulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lakelint: no module directive in %s", gomod)
 }
 
-// parseModule walks the module tree and parses every non-test package.
+// parseModule walks the module tree and parses every package.
 func parseModule(fset *token.FileSet, root, modPath string) ([]*Package, error) {
 	var pkgs []*Package
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -114,21 +146,23 @@ func parseModule(fset *token.FileSet, root, modPath string) ([]*Package, error) 
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		pkg, err := parseDir(fset, root, modPath, path)
+		dirPkgs, err := parseDir(fset, root, modPath, path)
 		if err != nil {
 			return err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
+		pkgs = append(pkgs, dirPkgs...)
 		return nil
 	})
 	return pkgs, err
 }
 
-// parseDir parses the non-test .go files of one directory, returning
-// nil when the directory holds no Go sources.
-func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+// parseDir parses the .go files of one directory — production and test
+// files alike, each filtered through the build context so a file the
+// compiler excludes on this platform is excluded here too (the same
+// rule for fixture modules as for the repository). One directory can
+// yield two packages: the production package augmented with its
+// in-package test files, and an external test package (package X_test).
+func parseDir(fset *token.FileSet, root, modPath, dir string) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -141,16 +175,19 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 	if rel != "." {
 		importPath = modPath + "/" + filepath.ToSlash(rel)
 	}
-	pkg := &Package{Path: importPath, Dir: rel}
+	base := &Package{Path: importPath, Dir: rel}
+	xtest := &Package{Path: importPath + " [test]", Dir: rel}
+	hash := sha256.New()
 	for _, e := range entries {
 		fn := e.Name()
-		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") {
 			continue
 		}
-		// Respect build constraints: a file the compiler excludes on
-		// this platform (e.g. the !unix mmap fallback on a unix host)
-		// would redeclare symbols if type-checked beside its
-		// counterpart.
+		isTest := strings.HasSuffix(fn, "_test.go")
+		// Respect build constraints uniformly: a file the compiler
+		// excludes on this platform (e.g. the !unix mmap fallback on a
+		// unix host, or a GOOS-tagged test file) would redeclare symbols
+		// or assert platform behavior that does not hold here.
 		if match, err := gobuild.Default.MatchFile(dir, fn); err != nil || !match {
 			continue
 		}
@@ -162,9 +199,15 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 		if err != nil {
 			return nil, err
 		}
-		f, err := parser.ParseFile(fset, relName, src, parser.SkipObjectResolution)
+		f, err := parser.ParseFile(fset, relName, src, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lakelint: parse: %w", err)
+		}
+		pkg := base
+		if isTest && base.Name != "" && f.Name.Name == base.Name+"_test" {
+			pkg = xtest
+		} else if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			pkg = xtest
 		}
 		if pkg.Name == "" {
 			pkg.Name = f.Name.Name
@@ -174,11 +217,40 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 		}
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filenames = append(pkg.Filenames, relName)
+		pkg.Test = append(pkg.Test, isTest)
+		fmt.Fprintf(hash, "%s\n%d\n", relName, len(src))
+		_, _ = hash.Write(src)
+		for _, spec := range f.Imports {
+			ip := strings.Trim(spec.Path.Value, `"`)
+			if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+				pkg.Imports = append(pkg.Imports, ip)
+			}
+		}
 	}
-	if len(pkg.Files) == 0 {
-		return nil, nil
+	var out []*Package
+	for _, pkg := range []*Package{base, xtest} {
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		sort.Strings(pkg.Imports)
+		pkg.Imports = dedupStrings(pkg.Imports)
+		// Both packages of a directory share the directory digest: a test
+		// file edit re-analyzes the production package too, which is the
+		// conservative direction.
+		copy(pkg.SrcHash[:], hash.Sum(nil))
+		out = append(out, pkg)
 	}
-	return pkg, nil
+	return out, nil
+}
+
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // moduleImporter resolves module-internal imports from the packages
@@ -200,7 +272,25 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.std.Import(path)
 }
 
+// TypeCheck type-checks every package in dependency order. It is
+// idempotent; Analyze calls it lazily, only when at least one check
+// must actually run (a fully cached analysis skips it entirely, which
+// is where the repo-wide wall-clock win comes from).
+func (m *Module) TypeCheck() error {
+	if m.typechecked {
+		return nil
+	}
+	if err := typecheckModule(m.Fset, m.Path, m.Pkgs); err != nil {
+		return err
+	}
+	m.typechecked = true
+	return nil
+}
+
 // typecheckModule type-checks the packages in dependency order.
+// In-package test files are checked together with their package —
+// test-only imports resolve like any other — and external test
+// packages are checked after the production package they augment.
 func typecheckModule(fset *token.FileSet, modPath string, pkgs []*Package) error {
 	byPath := make(map[string]*Package, len(pkgs))
 	for _, p := range pkgs {
@@ -217,7 +307,7 @@ func typecheckModule(fset *token.FileSet, modPath string, pkgs []*Package) error
 	visiting := make(map[string]bool)
 	var visit func(p *Package) error
 	visit = func(p *Package) error {
-		if _, ok := imp.done[p.Path]; ok {
+		if p.Types != nil {
 			return nil
 		}
 		if visiting[p.Path] {
@@ -225,13 +315,10 @@ func typecheckModule(fset *token.FileSet, modPath string, pkgs []*Package) error
 		}
 		visiting[p.Path] = true
 		defer delete(visiting, p.Path)
-		for _, f := range p.Files {
-			for _, spec := range f.Imports {
-				ip := strings.Trim(spec.Path.Value, `"`)
-				if dep, ok := byPath[ip]; ok {
-					if err := visit(dep); err != nil {
-						return err
-					}
+		for _, ip := range p.Imports {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
 				}
 			}
 		}
@@ -242,24 +329,74 @@ func typecheckModule(fset *token.FileSet, modPath string, pkgs []*Package) error
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		}
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+		tpkg, err := conf.Check(strings.TrimSuffix(p.Path, " [test]"), fset, p.Files, info)
 		if err != nil {
 			return fmt.Errorf("lakelint: typecheck %s: %w", p.Path, err)
 		}
 		p.Types, p.Info = tpkg, info
-		imp.done[p.Path] = tpkg
+		if !strings.HasSuffix(p.Path, " [test]") {
+			imp.done[p.Path] = tpkg
+		}
 		return nil
 	}
-	// Deterministic visit order.
-	paths := make([]string, 0, len(pkgs))
+	// Deterministic visit order: production packages first (external
+	// test packages sort after their base thanks to the " [test]"
+	// suffix ordering below any '/'-continued path... not guaranteed —
+	// so do two explicit passes).
+	var prod, tests []*Package
 	for _, p := range pkgs {
-		paths = append(paths, p.Path)
+		if strings.HasSuffix(p.Path, " [test]") {
+			tests = append(tests, p)
+		} else {
+			prod = append(prod, p)
+		}
 	}
-	sort.Strings(paths)
-	for _, path := range paths {
-		if err := visit(byPath[path]); err != nil {
-			return err
+	for _, group := range [][]*Package{prod, tests} {
+		for _, p := range group {
+			if err := visit(p); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// FuncDeclOf resolves a function or method object to its declaration
+// anywhere in the module, or nil for objects without one (stdlib
+// functions, function-typed variables). TypeCheck must have run; the
+// index is prebuilt before the parallel check fan-out so concurrent
+// callers only read it.
+func (m *Module) FuncDeclOf(obj types.Object) *ast.FuncDecl {
+	m.buildFuncIndex()
+	return m.funcDecls[obj]
+}
+
+// FuncPkgOf resolves a function or method object to the Package whose
+// types.Info covers its body.
+func (m *Module) FuncPkgOf(obj types.Object) *Package {
+	m.buildFuncIndex()
+	return m.funcPkgs[obj]
+}
+
+func (m *Module) buildFuncIndex() {
+	if m.funcDecls != nil {
+		return
+	}
+	m.funcDecls = make(map[types.Object]*ast.FuncDecl)
+	m.funcPkgs = make(map[types.Object]*Package)
+	for _, p := range m.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+					if o := p.Info.Defs[fd.Name]; o != nil {
+						m.funcDecls[o] = fd
+						m.funcPkgs[o] = p
+					}
+				}
+			}
+		}
+	}
 }

@@ -14,17 +14,21 @@ func main() {
 }
 
 // run is the testable CLI body. Exit codes: 0 clean, 1 findings,
-// 2 usage or load failure.
+// 2 usage, load, or baseline failure.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lakelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.String("json", "", "write findings as JSON to this file ('-' for stdout)")
+	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file ('-' for stdout)")
 	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings (each entry needs a reason); new findings still fail")
+	cacheDir := fs.String("cache", "", "directory for the per-(check,package) result cache (default: off)")
+	only := fs.String("only", "", "report only findings under this module-relative path prefix (analysis still covers the module)")
 	list := fs.Bool("list", false, "list the invariant checks and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: lakelint [flags] [module-dir]\n\n"+
 			"Runs the repository's invariant checks over every package of the\n"+
-			"module rooted at module-dir (default \".\"). See DESIGN.md §10.\n\n")
+			"module rooted at module-dir (default \".\"). See DESIGN.md §10 and §15.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,16 +60,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	findings, err := RunChecks(mod, names)
+	findings, err := Analyze(mod, Options{Checks: names, CacheDir: *cacheDir, Only: *only})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	// With -json -, stdout carries the report; keep it machine-parseable
-	// by routing the human-readable lines to stderr.
+	if *baselinePath != "" {
+		bl, err := LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var blErrs []string
+		findings, blErrs = bl.Apply(findings)
+		if len(blErrs) > 0 {
+			for _, e := range blErrs {
+				fmt.Fprintf(stderr, "lakelint: baseline: %s\n", e)
+			}
+			return 2
+		}
+	}
+
+	// With -json - or -sarif -, stdout carries a report; keep it
+	// machine-parseable by routing the human-readable lines to stderr.
 	lines := stdout
-	if *jsonOut == "-" {
+	if *jsonOut == "-" || *sarifOut == "-" {
 		lines = stderr
 	}
 	for _, f := range findings {
@@ -73,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, stdout, mod, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, stdout, findings); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Minimal SARIF 2.1.0 output, enough for code-scanning UIs to ingest:
+// one run, one rule per check, one result per finding with a physical
+// location. The schema is written by hand rather than vendored — the
+// subset below is stable and the repo takes no dependencies.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string           `json:"id"`
+	ShortDescription sarifMultiformat `json:"shortDescription"`
+}
+
+type sarifMultiformat struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string           `json:"ruleId"`
+	Level     string           `json:"level"`
+	Message   sarifMultiformat `json:"message"`
+	Locations []sarifLocation  `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders findings as a single-run SARIF log.
+func writeSARIF(path string, stdout io.Writer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(AllChecks)+1)
+	for _, c := range AllChecks {
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifMultiformat{Text: c.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: directiveCheck,
+		ShortDescription: sarifMultiformat{Text: "malformed, misplaced, or unused lakelint directives"}})
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMultiformat{Text: f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lakelint", Version: engineVersion, Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,3 @@
+module gorofix
+
+go 1.22

@@ -1,0 +1,71 @@
+// Fixture for the goroleak check: every join/cancel shape that
+// sanctions a goroutine, next to the spawns that leak.
+package lib
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func compute() {}
+
+// worker selects on ctx.Done: spawning it is cancellable.
+func worker(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	}
+}
+
+func naked() {
+	go func() { compute() }() // want goroleak "no join or cancel path"
+}
+
+func namedLeak() {
+	go compute() // want goroleak "goroutine compute has no join or cancel path"
+}
+
+func outsideModule() {
+	go time.Sleep(time.Millisecond) // want goroleak "outside the module"
+}
+
+func valueSpawn(f func()) {
+	go f() // want goroleak "function value"
+}
+
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+	wg.Wait()
+}
+
+func cancellable(ctx context.Context) {
+	go worker(ctx) // resolved one level: worker's ctx.Done select sanctions it
+}
+
+func closeJoined() {
+	done := make(chan struct{})
+	go func() {
+		compute()
+		close(done)
+	}()
+	<-done
+}
+
+func sendJoined() {
+	out := make(chan int, 1)
+	go func() { out <- 1 }()
+	<-out
+}
+
+func innerChanLeak() {
+	go func() { // want goroleak "no join or cancel path"
+		ch := make(chan int, 1)
+		ch <- 1
+		<-ch
+	}()
+}

@@ -1,0 +1,24 @@
+// Suppression and directive-audit demos: a reasoned ignore silences a
+// finding, and malformed or unused directives are findings themselves
+// (under the un-ignorable "directive" pseudo-check).
+package lib
+
+func suppressed() {
+	//lakelint:ignore goroleak -- fixture: fire-and-forget by design, reviewed here
+	go compute()
+}
+
+func missingReason() {
+	//lakelint:ignore goroleak // want directive "non-empty reason"
+	go compute() // want goroleak "goroutine compute has no join or cancel path"
+}
+
+func unknownCheck() {
+	//lakelint:ignore gorleak -- typo in the check name // want directive "unknown check"
+	go compute() // want goroleak "goroutine compute has no join or cancel path"
+}
+
+func unusedSuppression() {
+	//lakelint:ignore goroleak -- nothing on the next line spawns anything // want directive "unused suppression"
+	compute()
+}

@@ -1,0 +1,46 @@
+// Fixture for the hotpath check: an annotated function containing
+// every banned construct, an annotated function that stays within the
+// rules, and an unannotated function whose allocations are nobody's
+// business.
+package kern
+
+import "fmt"
+
+// bad carries the annotation and violates every rule the check knows.
+//
+//lakelint:hotpath
+func bad(sink func(any)) int {
+	m := map[string]int{}        // want hotpath "map literal in hotpath"
+	s := []int{1, 2}             // want hotpath "slice literal in hotpath"
+	t := make([]int, 1)          // want hotpath "make in hotpath"
+	t = append(t, len(m))        // want hotpath "append in hotpath"
+	f := func() int { return 0 } // want hotpath "closure literal in hotpath"
+	fmt.Println(len(t))          // want hotpath "fmt.Println in hotpath"
+	var box any = s[0]           // want hotpath "declaration boxes"
+	box = t[0]                   // want hotpath "assignment boxes"
+	sink(f())                    // want hotpath "argument boxes"
+	if box == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// fill is annotated and stays clean: caller-owned scratch, concrete
+// types, no formatting, no growth.
+//
+//lakelint:hotpath
+func fill(dst []float64, x float64) float64 {
+	acc := 0.0
+	for i := range dst {
+		dst[i] = x
+		acc += dst[i]
+	}
+	return acc
+}
+
+// scratch is not annotated: allocation here is fine.
+func scratch() []int {
+	xs := []int{1}
+	xs = append(xs, 2)
+	return xs
+}

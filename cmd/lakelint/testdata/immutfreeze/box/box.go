@@ -1,0 +1,39 @@
+// Fixture for the immutfreeze check: a type marked immutable, its
+// constructors (where field writes are sanctioned), and same-package
+// functions that are not constructors (where they are not).
+package box
+
+// Box is frozen after construction and shared across goroutines.
+//
+//lakelint:immutable
+type Box struct {
+	N     int
+	Items []int
+	M     map[string]int
+}
+
+// New is a constructor — declared in the type's own package and
+// returning *Box — so field writes here are sanctioned.
+func New(n int) *Box {
+	b := &Box{M: make(map[string]int)}
+	b.N = n
+	b.Items = append(b.Items, n)
+	return b
+}
+
+// Clone is also a constructor: returning the value form counts too.
+func Clone(src *Box) Box {
+	out := Box{}
+	out.N = src.N
+	return out
+}
+
+// Reset returns nothing, so it gets no constructor privilege even in
+// the type's own package.
+func Reset(b *Box) {
+	b.N = 0 // want immutfreeze "box.Box.N assigned"
+}
+
+func (b *Box) bump() {
+	b.N++ // want immutfreeze "box.Box.N modified"
+}

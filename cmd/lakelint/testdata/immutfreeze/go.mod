@@ -1,0 +1,3 @@
+module immutfix
+
+go 1.22

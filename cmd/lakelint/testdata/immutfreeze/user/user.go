@@ -1,0 +1,22 @@
+// Mutations from outside the type's package are never sanctioned;
+// building values with composite literals always is.
+package user
+
+import "immutfix/box"
+
+// Tamper writes a frozen Box every way the check recognizes: a field
+// store, a store through map indexing, a wholesale overwrite, and a
+// field address-take (aliasing that enables later mutation).
+func Tamper(b *box.Box) {
+	b.N = 7        // want immutfreeze "box.Box.N assigned"
+	b.M["k"] = 1   // want immutfreeze "box.Box.M assigned"
+	*b = box.Box{} // want immutfreeze "box.Box value wholesale-assigned"
+	p := &b.N      // want immutfreeze "address of box.Box.N"
+	_ = p
+}
+
+// Build constructs without mutating: composite literals are building,
+// not writing, so no finding.
+func Build() box.Box {
+	return box.Box{N: 1, Items: []int{1}}
+}

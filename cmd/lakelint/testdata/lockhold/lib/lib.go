@@ -1,0 +1,93 @@
+// Fixture for the lockhold check: locks held across blocking
+// operations, double-locking, inconsistent acquisition order (directly
+// and one level through a callee), and the clean shapes next to them.
+package lib
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	v  int
+}
+
+type other struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (s *store) sendWhileLocked(ch chan int) {
+	s.mu.Lock()
+	ch <- s.v // want lockhold "across a channel send"
+	s.mu.Unlock()
+}
+
+func (s *store) readWhileLocked(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.ReadFile(path) // want lockhold "across os.ReadFile"
+	return err
+}
+
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want lockhold "re-locks"
+	s.mu.Unlock()
+}
+
+func (r *registry) receiveWhileRLocked(ch chan int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v + <-ch // want lockhold "across a channel receive"
+}
+
+// releaseFirst is the clean shape: copy out, release, then block.
+func (s *store) releaseFirst(ch chan int) {
+	s.mu.Lock()
+	v := s.v
+	s.mu.Unlock()
+	ch <- v
+}
+
+// grab acquires other.mu; a caller holding store.mu creates a
+// store.mu=>other.mu edge one level through this callee.
+func (o *other) grab() {
+	o.mu.Lock()
+	o.n++
+	o.mu.Unlock()
+}
+
+func nested(s *store, o *other) {
+	s.mu.Lock()
+	o.grab() // want lockhold "inconsistent lock order"
+	s.mu.Unlock()
+}
+
+func reversed(s *store, o *other) {
+	o.mu.Lock()
+	s.mu.Lock() // want lockhold "inconsistent lock order"
+	s.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// spawned shows a goroutine body scanned as a fresh function: the
+// spawner's wg.Wait blocks with no lock held, and the goroutine's own
+// critical section is clean.
+func spawned(s *store) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.mu.Lock()
+		s.v++
+		s.mu.Unlock()
+	}()
+	wg.Wait()
+}

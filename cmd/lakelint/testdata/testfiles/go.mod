@@ -1,0 +1,3 @@
+module testfilesfix
+
+go 1.22

@@ -1,0 +1,10 @@
+//go:build plan9
+
+// Excluded by its build constraint on every platform the tests run on,
+// exactly as go build would exclude it: the leak below must produce no
+// finding (and so carries no want annotation).
+package lib
+
+func plan9Leak() {
+	go compute()
+}

@@ -1,0 +1,11 @@
+//go:build plan9
+
+// Build constraints apply to test files with the same rules as
+// production files: this leak must produce no finding.
+package lib
+
+import "testing"
+
+func TestPlan9Leak(t *testing.T) {
+	go compute()
+}

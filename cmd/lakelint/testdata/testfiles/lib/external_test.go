@@ -1,0 +1,9 @@
+// External test packages (package lib_test) are type-checked and
+// analyzed too.
+package lib_test
+
+import "testing"
+
+func TestExternalLeak(t *testing.T) {
+	go func() {}() // want goroleak "no join or cancel path"
+}

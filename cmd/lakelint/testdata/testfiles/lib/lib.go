@@ -1,0 +1,15 @@
+// Fixture proving two loader properties: _test.go files are analyzed
+// under the same type-checked rules as production code (for the new
+// concurrency checks), and build-constrained files are filtered exactly
+// as go build filters them.
+package lib
+
+import "errors"
+
+func compute() {}
+
+func fail() error { return errors.New("x") }
+
+func prodLeak() {
+	go compute() // want goroleak "goroutine compute has no join or cancel path"
+}

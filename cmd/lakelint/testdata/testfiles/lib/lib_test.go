@@ -1,0 +1,12 @@
+package lib
+
+import "testing"
+
+// TestLeak holds the same violation as prodLeak: the new checks see
+// test files. The dropped error below, in contrast, gets no finding —
+// the six legacy checks keep their test-file exemption.
+func TestLeak(t *testing.T) {
+	go compute() // want goroleak "goroutine compute has no join or cancel path"
+	fail()
+	t.Log("the goroutine above leaks in a test too")
+}

@@ -156,15 +156,20 @@ func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad gen: want a generation sequence number from /admin/generations", http.StatusBadRequest)
 		return
 	}
+	// The lock covers only the lookup-and-swap; the HTTP response is
+	// written after release so a slow client cannot stall publishes
+	// (lockhold: no mutex held across network I/O).
 	s.genMu.Lock()
-	defer s.genMu.Unlock()
 	g, ok := s.hist.Get(seq)
+	if ok {
+		s.hist.SetCurrent(g.Seq)
+		s.snap.Store(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
+	}
+	s.genMu.Unlock()
 	if !ok {
 		http.Error(w, "generation not retained (see /admin/generations)", http.StatusNotFound)
 		return
 	}
-	s.hist.SetCurrent(g.Seq)
-	s.snap.Store(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
 	log.Printf("rolled back to generation %d (hash %.12s…)", g.Seq, g.Hash)
 	writeJSON(w, struct {
 		Seq  int    `json:"seq"`

@@ -210,6 +210,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// buildWG joins the background organization build on shutdown:
+	// OrganizeContext honors ctx, so cancelling and waiting bounds exit
+	// latency while guaranteeing the goroutine is gone before main
+	// returns (no half-finished setOrganization racing process exit).
+	var buildWG sync.WaitGroup
+
 	if *orgPath != "" {
 		log.Printf("loading organization from %s…", *orgPath)
 		org, err := lakenav.LoadOrganization(l, *orgPath)
@@ -237,7 +243,9 @@ func main() {
 		cfg.Progress = s.metrics.noteBuildProgress
 		s.metrics.buildRunning.Set(1)
 		log.Printf("organizing %d tables in the background…", l.Tables())
+		buildWG.Add(1)
 		go func() {
+			defer buildWG.Done()
 			defer s.metrics.buildRunning.Set(0)
 			org, err := lakenav.OrganizeContext(ctx, l, cfg)
 			if err != nil {
@@ -263,6 +271,8 @@ func main() {
 	if *pprofAddr != "" {
 		// The profiler gets its own listener: no public exposure, no
 		// request timeouts, no load-shedding budget (see pprofMux).
+		//
+		//lakelint:ignore goroleak -- process-lifetime debug listener; it dies with the process and has nothing to hand back
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
@@ -297,6 +307,9 @@ func main() {
 		log.Printf("navserver: shutdown: %v", err)
 		_ = srv.Close() // drain timed out; force-close, nothing left to report
 	}
+	// ctx is already cancelled (stop() above), so a still-running build
+	// unwinds through OrganizeContext's cancellation path promptly.
+	buildWG.Wait()
 	log.Print("bye")
 }
 

@@ -457,7 +457,15 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(ln)
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(ln) // returns http.ErrServerClosed after Shutdown/Close
+	}()
+	defer func() {
+		_ = srv.Close()
+		<-serveDone // join the serve goroutine on every exit path
+	}()
 	base := "http://" + ln.Addr().String()
 
 	type result struct {

@@ -13,6 +13,8 @@ import "fmt"
 // and dropped by invalidate() alongside topo/levels. Like Topo it must
 // be warmed serially before concurrent readers fork (the evaluator and
 // serve layers already warm Topo, which warms this).
+//
+//lakelint:immutable
 type adjSnapshot struct {
 	childStart  []int32 // len(States)+1 offsets into children
 	children    []int32

@@ -40,6 +40,8 @@ func (o *Org) childTransitionsN(s StateID, topic vector.Vector, topicNorm float6
 // arithmetic (CosineNorms per child, max-logit softmax) is identical,
 // in the same order, to the pointer-path fallback, so results are
 // bit-for-bit the same.
+//
+//lakelint:hotpath
 func (o *Org) transitionsInto(a *adjSnapshot, s StateID, topic vector.Vector, topicNorm float64, probs []float64) []float64 {
 	children := a.childrenOf(s)
 	if len(children) == 0 {
@@ -109,6 +111,8 @@ func (o *Org) reachProbsN(topic vector.Vector, topicNorm float64) []float64 {
 // reach. Only interior states propagate — leaves are terminal and tag
 // states' children are leaves — exactly the skips the allocating path
 // performed, so results are bit-identical.
+//
+//lakelint:hotpath
 func (o *Org) reachProbsInto(topic vector.Vector, topicNorm float64, reach, probs []float64) []float64 {
 	a := o.adjacency()
 	reach = reach[:len(o.States)]
@@ -149,6 +153,8 @@ func (o *Org) leafProbN(a lake.AttrID, topic vector.Vector, topicNorm float64, r
 
 // leafProbInto is the zero-allocation form of leafProbN: probs is the
 // caller-owned transition scratch (cap ≥ adjacency().maxChildren).
+//
+//lakelint:hotpath
 func (o *Org) leafProbInto(a lake.AttrID, topic vector.Vector, topicNorm float64, reach, probs []float64) float64 {
 	leaf, ok := o.leafOf[a]
 	if !ok {

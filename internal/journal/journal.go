@@ -227,6 +227,10 @@ func (w *Writer) Append(b Batch) error {
 	if w.f == nil {
 		return fmt.Errorf("journal: append to closed writer for %s", w.path)
 	}
+	// Holding w.mu across the write+fsync IS the contract: the lock
+	// serializes appends so records land whole and in order; releasing
+	// it mid-write would let a second Append interleave into the record.
+	//lakelint:ignore lockhold -- the writer lock serializes the append I/O; holding it across the write is the durability contract
 	if err := atomicio.Append(w.f, rec); err != nil {
 		return err
 	}
@@ -246,13 +250,16 @@ func (w *Writer) Count() int {
 func (w *Writer) Path() string { return w.path }
 
 // Close closes the underlying file. The writer is unusable afterwards.
+// The lock covers only the handle swap, not the Close syscall: any
+// in-flight Append holds the lock until its write completes, so by the
+// time Close takes the handle no append can still be using it.
 func (w *Writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
+	f := w.f
+	w.f = nil
+	w.mu.Unlock()
+	if f == nil {
 		return nil
 	}
-	err := w.f.Close()
-	w.f = nil
-	return err
+	return f.Close()
 }

@@ -82,6 +82,8 @@ func (c *Cache) Len() int {
 // entry from another generation is removed and reported as a miss; a
 // topicHash collision (stored topic differs from the request topic) is
 // a miss that leaves the entry in place for its own key.
+//
+//lakelint:hotpath
 func (c *Cache) get(gen uint64, key cacheKey, topic vector.Vector) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

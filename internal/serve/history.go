@@ -11,6 +11,8 @@ import (
 // ingest sequence number it corresponds to, its canonical structure
 // hash, and the immutable artifacts queries run against. Generations
 // are value snapshots — once added to a History they never change.
+//
+//lakelint:immutable
 type Generation struct {
 	// Seq is the ingest sequence: the number of journal batches applied
 	// when this generation was frozen. Seq 0 is the base organization.

@@ -111,6 +111,8 @@ var generation atomic.Uint64
 // not yet built) and the lake's search engine. All methods are safe for
 // concurrent use; returned slices are shared with the cache and must be
 // treated as read-only.
+//
+//lakelint:immutable
 type Snapshot struct {
 	org     *lakenav.Organization
 	search  *lakenav.SearchEngine

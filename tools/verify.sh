@@ -30,9 +30,11 @@ stage "go build ./..." go build ./...
 stage "go vet ./..." go vet ./...
 
 # Invariant checks (cmd/lakelint): the determinism, caching, and
-# context contracts DESIGN.md §10 documents, enforced mechanically.
+# context contracts of DESIGN.md §10 plus the type-aware concurrency
+# and hot-path invariants of §15, enforced mechanically. The result
+# cache makes warm runs parse-only.
 lakelint_run() {
-	go run ./cmd/lakelint .
+	go run ./cmd/lakelint -cache .lakelint-cache .
 }
 stage "lakelint ." lakelint_run
 
@@ -41,16 +43,18 @@ stage "go test -race ./..." go test -race ./...
 # Fuzz smoke: a few seconds of coverage-guided input on the decode
 # surfaces that accept untrusted bytes (organization import — JSON and
 # binfmt container — checkpoint resume in both encodings, journal
-# recovery). -fuzzminimizetime is capped because the default
-# 60s-per-input minimization starves short windows on small machines.
+# recovery, lakelint's directive parser). -fuzzminimizetime is capped
+# because the default 60s-per-input minimization starves short windows
+# on small machines.
 fuzz_smoke() {
 	go test ./internal/core -fuzz FuzzReadOrg -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/core -fuzz FuzzDecodeCheckpoint -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/core -fuzz FuzzReadBinOrg -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/core -fuzz FuzzReadBinCheckpoint -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 	go test ./internal/journal -fuzz FuzzReadJournal -fuzztime 5s -fuzzminimizetime 10x -run '^$'
+	go test ./cmd/lakelint -fuzz FuzzParseDirective -fuzztime 5s -fuzzminimizetime 10x -run '^$'
 }
-stage "go test -fuzz (5s smoke x5)" fuzz_smoke
+stage "go test -fuzz (5s smoke x6)" fuzz_smoke
 
 # Benchmarks compile and run: one iteration of everything keeps the
 # bench harness (and tools/bench.sh's parse targets) from bit-rotting.
