@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench benchgate bench-serve bench-coldstart soak crash-soak fmt-check lint ci clean
+.PHONY: build test race vet verify bench benchgate bench-serve bench-coldstart soak crash-soak fleet-soak fmt-check lint ci clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ soak:
 crash-soak:
 	sh tools/crash_soak.sh
 
+# Multi-process fleet soak: three race-built navserver shards behind a
+# race-built lakecoord coordinator, driven by lakeload in fleet mode
+# while one shard is kill -9ed and restarted mid-run; gates on merged
+# batches staying bit-identical to a single shard, zero lost or
+# failing responses (kill-window effects may only appear as degraded
+# answers), and full recovery (tools/fleet_soak.sh).
+fleet-soak:
+	sh tools/fleet_soak.sh
+
 # Invariant analyzer (cmd/lakelint): the type-aware engine of DESIGN.md
 # §15 — the six DESIGN.md §10 checks plus immutfreeze/hotpath/goroleak/
 # lockhold. The per-(check,package) result cache under .lakelint-cache
@@ -87,6 +96,7 @@ ci: fmt-check lint verify
 	sh tools/benchgate.sh BENCH_coldstart_ci.json
 	SOAK_DURATION=10s sh tools/soak.sh soak-artifacts
 	sh tools/crash_soak.sh crash-soak-artifacts
+	FLEET_SOAK_DURATION=9s sh tools/fleet_soak.sh fleet-soak-artifacts
 
 clean:
 	$(GO) clean ./...

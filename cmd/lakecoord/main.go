@@ -1,0 +1,151 @@
+// Command lakecoord fronts a fleet of navserver shards: it routes
+// every request by consistent-hash placement — (lake, dim) for
+// navigation, (lake, q) for search — over the shard map in -map, fans
+// /batch/suggest and /batch/search out across shards, and merges the
+// answers position-stably. A dead shard degrades exactly its own items
+// (per-item errors plus the X-Fleet-Degraded header), never the whole
+// request.
+//
+//	lakecoord -map fleet.json [-addr :7000] [-map-poll 5s]
+//	          [-max-inflight 256] [-max-batch 256]
+//	          [-check-interval 2s] [-timeout 5s] [-retries 1]
+//	          [-retry-base 50ms] [-hedge 0]
+//
+// The shard map file is the unit of fleet change: with -map-poll the
+// coordinator re-reads it on modification and swaps the ring in
+// atomically; a map that fails to parse or validate is logged and the
+// previous map keeps serving. /admin/fleet reports per-shard health
+// and serving generation; /readyz is ready while at least one shard is
+// healthy.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"lakenav/internal/fleet"
+)
+
+func main() {
+	mapPath := flag.String("map", "", "shard map JSON path (required)")
+	addr := flag.String("addr", ":7000", "listen address")
+	mapPoll := flag.Duration("map-poll", 0, "re-read -map on modification at this interval; 0 disables")
+	maxInflight := flag.Int("max-inflight", 256, "maximum concurrently served requests before shedding with 503")
+	maxBatch := flag.Int("max-batch", 256, "maximum queries per /batch request (keep at or below the shards' -max-batch)")
+	checkInterval := flag.Duration("check-interval", 2*time.Second, "active shard health-probe period")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt shard request timeout")
+	retries := flag.Int("retries", 1, "extra attempts after a transport error (HTTP error statuses are answers, not failures)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; doubles per retry")
+	hedge := flag.Duration("hedge", 0, "launch a second concurrent attempt if the first has not resolved within this delay; 0 disables")
+	flag.Parse()
+	if *mapPath == "" {
+		log.Fatal("lakecoord: missing -map")
+	}
+
+	m, err := fleet.LoadShardMap(*mapPath)
+	if err != nil {
+		log.Fatal("lakecoord: ", err)
+	}
+	coord := fleet.New(fleet.Options{
+		MaxInflight:   *maxInflight,
+		MaxBatch:      *maxBatch,
+		CheckInterval: *checkInterval,
+		Client: fleet.ClientOptions{
+			Timeout:   *timeout,
+			Retries:   *retries,
+			RetryBase: *retryBase,
+			Hedge:     *hedge,
+		},
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if err := coord.SetMap(ctx, m); err != nil {
+		log.Fatal("lakecoord: ", err)
+	}
+	log.Printf("serving %d shards from %s", len(m.Shards), *mapPath)
+
+	// pollWG joins the map-poll loop on shutdown, mirroring navserver's
+	// background-build join: cancel, wait, then return.
+	var pollWG sync.WaitGroup
+	if *mapPoll > 0 {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			pollMap(ctx, coord, *mapPath, *mapPoll)
+		}()
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal("lakecoord: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("shutting down: draining in-flight requests…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("lakecoord: shutdown: %v", err)
+		_ = srv.Close() // drain timed out; force-close, nothing left to report
+	}
+	pollWG.Wait()
+	coord.Close()
+	log.Print("bye")
+}
+
+// pollMap watches the shard map file by modification time and swaps a
+// re-validated map in on change. A file that vanishes or fails to
+// parse keeps the previous map serving — an operator mid-edit must
+// never take the fleet down.
+func pollMap(ctx context.Context, coord *fleet.Coordinator, path string, every time.Duration) {
+	lastMod := time.Time{}
+	if fi, err := os.Stat(path); err == nil {
+		lastMod = fi.ModTime()
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil || !fi.ModTime().After(lastMod) {
+			continue
+		}
+		lastMod = fi.ModTime()
+		m, err := fleet.LoadShardMap(path)
+		if err != nil {
+			log.Printf("lakecoord: map reload skipped: %v", err)
+			continue
+		}
+		if err := coord.SetMap(ctx, m); err != nil {
+			log.Printf("lakecoord: map reload skipped: %v", err)
+			continue
+		}
+		log.Printf("shard map reloaded: %d shards", len(m.Shards))
+	}
+}

@@ -39,6 +39,11 @@ type opGenConfig struct {
 	// NavReady gates navigation operations: when false the schedule is
 	// keyword search only (the organization is still building).
 	NavReady bool
+	// Lakes spreads the schedule over this many synthetic lake ids —
+	// the coordinator's routing input, fanning requests across fleet
+	// shards. 0 adds no lake parameter anywhere, keeping single-server
+	// schedules byte-identical to earlier releases.
+	Lakes int
 }
 
 // opGen derives per-worker deterministic operation streams. Worker
@@ -98,6 +103,17 @@ type opStream struct {
 	rng *rand.Rand
 }
 
+// lake draws the operation's lake id, or "" outside fleet mode. The
+// draw happens only when Lakes > 0, so legacy (-lakes 0) schedules
+// consume the rng identically to earlier releases and stay
+// byte-identical.
+func (s *opStream) lake() string {
+	if s.g.cfg.Lakes <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("lake-%d", s.rng.Intn(s.g.cfg.Lakes))
+}
+
 // next derives the stream's next operation.
 func (s *opStream) next() op {
 	g := s.g
@@ -105,7 +121,7 @@ func (s *opStream) next() op {
 	// Op mix: navigation-heavy when the organization is ready (the
 	// serving fast path under test), pure search otherwise.
 	if !g.cfg.NavReady {
-		return searchOp(q, g.cfg.K)
+		return searchOp(q, g.cfg.K, s.lake())
 	}
 	switch s.rng.Intn(10) {
 	case 0, 1, 2, 3: // 40% suggest
@@ -117,12 +133,18 @@ func (s *opStream) next() op {
 		if path != "" {
 			v.Set("path", path)
 		}
+		if lake := s.lake(); lake != "" {
+			v.Set("lake", lake)
+		}
 		return op{kind: "suggest", path: "/api/suggest?" + v.Encode()}
 	case 4, 5, 6: // 30% discover
 		v := url.Values{"q": {q}, "k": {fmt.Sprintf("%d", g.cfg.K)}}
+		if lake := s.lake(); lake != "" {
+			v.Set("lake", lake)
+		}
 		return op{kind: "discover", path: "/api/discover?" + v.Encode()}
 	case 7, 8: // 20% search
-		return searchOp(q, g.cfg.K)
+		return searchOp(q, g.cfg.K, s.lake())
 	default: // 10% batches, alternating kinds
 		if s.rng.Intn(2) == 0 {
 			return s.batchSuggest()
@@ -131,14 +153,18 @@ func (s *opStream) next() op {
 	}
 }
 
-func searchOp(q string, k int) op {
+func searchOp(q string, k int, lake string) op {
 	v := url.Values{"q": {q}, "k": {fmt.Sprintf("%d", k)}}
+	if lake != "" {
+		v.Set("lake", lake)
+	}
 	return op{kind: "search", path: "/api/search?" + v.Encode()}
 }
 
 func (s *opStream) batchSuggest() op {
 	g := s.g
 	type item struct {
+		Lake string `json:"lake,omitempty"`
 		Dim  int    `json:"dim"`
 		Path string `json:"path,omitempty"`
 		Q    string `json:"q"`
@@ -146,7 +172,7 @@ func (s *opStream) batchSuggest() op {
 	}
 	items := make([]item, g.cfg.BatchSize)
 	for i := range items {
-		items[i] = item{Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
+		items[i] = item{Lake: s.lake(), Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
 		if g.cfg.RootChildren > 0 && s.rng.Intn(2) == 0 {
 			items[i].Path = fmt.Sprintf("%d", s.rng.Intn(g.cfg.RootChildren))
 		}
@@ -157,12 +183,13 @@ func (s *opStream) batchSuggest() op {
 func (s *opStream) batchSearch() op {
 	g := s.g
 	type item struct {
-		Q string `json:"q"`
-		K int    `json:"k"`
+		Lake string `json:"lake,omitempty"`
+		Q    string `json:"q"`
+		K    int    `json:"k"`
 	}
 	items := make([]item, g.cfg.BatchSize)
 	for i := range items {
-		items[i] = item{Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
+		items[i] = item{Lake: s.lake(), Q: g.queries[g.zipf.Sample(s.rng)-1], K: g.cfg.K}
 	}
 	return op{kind: "batch_search", path: "/batch/search", body: batchBody(items)}
 }

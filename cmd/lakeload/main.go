@@ -40,6 +40,14 @@
 // as retries; one that exhausts the budget counts as a net error, so
 // the summary keeps retried recoveries, shed 503s, and failures as
 // three separate quantities.
+//
+// Against a fleet coordinator (cmd/lakecoord), -lakes N spreads the
+// schedule over N synthetic lake ids so requests fan out across
+// shards. Coordinator degradation — a 503 whose body names an
+// unavailable shard, or a 200 batch carrying the X-Fleet-Degraded
+// header — is booked separately from both shed 503s and transport
+// errors: the summary reports degraded responses and degraded items,
+// -fail-on-error ignores them, and -fail-on-degraded gates on them.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,7 +81,9 @@ func main() {
 	batchSize := flag.Int("batch-size", 16, "queries per /batch request")
 	out := flag.String("out", "", "write per-request NDJSON records to this file")
 	waitReady := flag.Duration("wait-ready", 30*time.Second, "wait up to this long for /readyz before starting (0 skips navigation ops)")
-	failOnError := flag.Bool("fail-on-error", false, "exit 1 on any non-2xx response that is not a deliberate shed 503")
+	failOnError := flag.Bool("fail-on-error", false, "exit 1 on any non-2xx response that is not a deliberate shed 503 or a coordinator-degraded answer")
+	failOnDegraded := flag.Bool("fail-on-degraded", false, "exit 1 when any response or batch item was coordinator-degraded (dead shard)")
+	lakes := flag.Int("lakes", 0, "spread requests over this many synthetic lake ids (fleet mode); 0 sends no lake parameter")
 	maxOutstanding := flag.Int("max-outstanding", 1024, "outstanding request cap (open mode); excess ticks count as dropped")
 	retries := flag.Int("retries", 2, "additional attempts per request on transport errors (0 disables retry)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff step; attempt a sleeps base*2^a with jitter")
@@ -120,6 +131,7 @@ func main() {
 		BatchSize:    *batchSize,
 		RootChildren: probe.RootChildren,
 		NavReady:     probe.Ready,
+		Lakes:        *lakes,
 	})
 	if err != nil {
 		log.Fatal("lakeload: ", err)
@@ -150,7 +162,10 @@ func main() {
 		log.Fatal("lakeload: ", err)
 	}
 	if *failOnError && sum.Failures > 0 {
-		log.Fatalf("lakeload: %d failing responses (non-2xx, excluding shed)", sum.Failures)
+		log.Fatalf("lakeload: %d failing responses (non-2xx, excluding shed and degraded)", sum.Failures)
+	}
+	if *failOnDegraded && (sum.Degraded > 0 || sum.DegradedItems > 0) {
+		log.Fatalf("lakeload: %d degraded responses, %d degraded batch items", sum.Degraded, sum.DegradedItems)
 	}
 }
 
@@ -359,10 +374,28 @@ func (r *runner) issue(worker int, o op) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close() // drained; nothing actionable on close
 	rec.Status = resp.StatusCode
-	// The navserver's load shedder answers 503 with the literal body
-	// "overloaded"; that is deliberate back-pressure, not a failure.
-	rec.Shed = resp.StatusCode == http.StatusServiceUnavailable &&
-		strings.Contains(string(body), "overloaded")
+	// The load shedder (navserver's and lakecoord's alike) answers 503
+	// with the literal body "overloaded"; that is deliberate
+	// back-pressure, not a failure. A coordinator that reached a dead
+	// shard instead answers 503 with a body naming the unavailable
+	// shard — degradation, a third quantity distinct from both shed
+	// back-pressure and transport errors.
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		switch {
+		case strings.Contains(string(body), "overloaded"):
+			rec.Shed = true
+		case strings.Contains(string(body), "unavailable"):
+			rec.Degraded = true
+		}
+	}
+	// A 200 batch answer can still be partially degraded: the
+	// coordinator advertises how many items carry shard-unavailable
+	// errors in the X-Fleet-Degraded header.
+	if h := resp.Header.Get("X-Fleet-Degraded"); h != "" {
+		if n, err := strconv.Atoi(h); err == nil && n > 0 {
+			rec.DegradedItems = n
+		}
+	}
 	r.records.add(rec)
 }
 
@@ -374,8 +407,13 @@ type record struct {
 	Status    int     `json:"status,omitempty"`
 	LatencyMS float64 `json:"latency_ms"`
 	Shed      bool    `json:"shed,omitempty"`
-	Retries   int     `json:"retries,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// Degraded marks a coordinator 503 naming a dead shard;
+	// DegradedItems counts shard-unavailable items inside an otherwise
+	// successful batch answer (the X-Fleet-Degraded header).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedItems int    `json:"degraded_items,omitempty"`
+	Retries       int    `json:"retries,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // recorder aggregates request outcomes and optionally streams them as
@@ -391,7 +429,14 @@ type recorder struct {
 	failures  int
 	retries   int
 	total     int
-	dropped   atomic.Int64
+	// degraded counts responses degraded wholesale (coordinator 503
+	// naming a dead shard); degradedItems sums per-item degradations
+	// inside 200 batch answers. Both stay out of failures: degradation
+	// is the fleet's survival contract working, and the soak gates on
+	// it separately (-fail-on-degraded).
+	degraded      int
+	degradedItems int
+	dropped       atomic.Int64
 }
 
 func newRecorder(sink io.Writer) *recorder {
@@ -411,12 +456,20 @@ func (r *recorder) add(rec record) {
 	r.total++
 	r.byOp[rec.Op]++
 	r.retries += rec.Retries
+	r.degradedItems += rec.DegradedItems
 	switch {
 	case rec.Error != "":
 		r.netErrs++
 		r.failures++
 	case rec.Shed:
 		r.shed++
+		r.byStatus[fmt.Sprintf("%d", rec.Status)]++
+	case rec.Degraded:
+		// A whole-request degradation: like shed, it is booked by
+		// status but excluded from failures and from the latency
+		// population (its latency is the dead shard's timeout, not
+		// service time).
+		r.degraded++
 		r.byStatus[fmt.Sprintf("%d", rec.Status)]++
 	default:
 		r.byStatus[fmt.Sprintf("%d", rec.Status)]++
@@ -445,8 +498,16 @@ type summary struct {
 	// flaky-but-recovering link shows up as retries without failures.
 	NetErrors int `json:"net_errors"`
 	Retries   int `json:"retries"`
-	// Failures counts non-2xx responses excluding deliberate shed 503s,
-	// plus transport errors — the CI gate quantity.
+	// Degraded counts whole responses the coordinator degraded (503
+	// naming a dead shard); DegradedItems sums shard-unavailable items
+	// inside 200 batch answers. Kept apart from both Shed and Failures
+	// so a fleet soak can require zero failures while tolerating —
+	// or separately gating on — kill-window degradation.
+	Degraded      int `json:"degraded"`
+	DegradedItems int `json:"degraded_items"`
+	// Failures counts non-2xx responses excluding deliberate shed 503s
+	// and degraded answers, plus transport errors — the CI gate
+	// quantity.
 	Failures   int     `json:"failures"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Throughput float64 `json:"throughput_rps"`
@@ -462,15 +523,17 @@ func (r *recorder) summarize(elapsed time.Duration) summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := summary{
-		Requests:   r.total,
-		Dropped:    r.dropped.Load(),
-		ByOp:       r.byOp,
-		ByStatus:   r.byStatus,
-		Shed:       r.shed,
-		NetErrors:  r.netErrs,
-		Retries:    r.retries,
-		Failures:   r.failures,
-		ElapsedSec: elapsed.Seconds(),
+		Requests:      r.total,
+		Dropped:       r.dropped.Load(),
+		ByOp:          r.byOp,
+		ByStatus:      r.byStatus,
+		Shed:          r.shed,
+		NetErrors:     r.netErrs,
+		Retries:       r.retries,
+		Degraded:      r.degraded,
+		DegradedItems: r.degradedItems,
+		Failures:      r.failures,
+		ElapsedSec:    elapsed.Seconds(),
 	}
 	if elapsed > 0 {
 		s.Throughput = float64(r.total) / elapsed.Seconds()

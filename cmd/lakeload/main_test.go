@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -140,6 +141,150 @@ func TestRecorderSummary(t *testing.T) {
 	lines := strings.Count(buf.String(), "\n")
 	if lines != 5 {
 		t.Errorf("NDJSON lines = %d, want 5", lines)
+	}
+}
+
+// TestRecorderDegradedAccounting pins the three-way split the fleet
+// soak gates on: degraded answers (whole-request 503s naming a dead
+// shard, and per-item degradations inside 200 batches) are counted,
+// but excluded from both Failures and the latency population —
+// -fail-on-error must stay green through a kill window while
+// -fail-on-degraded trips.
+func TestRecorderDegradedAccounting(t *testing.T) {
+	r := newRecorder(nil)
+	r.add(record{Op: "search", Status: 200, LatencyMS: 2})
+	// Coordinator answered 503 "shard s1 unavailable: ..." — degraded.
+	r.add(record{Op: "search", Status: 503, Degraded: true, LatencyMS: 5000})
+	// 200 batch with three shard-unavailable items inside.
+	r.add(record{Op: "batch_suggest", Status: 200, DegradedItems: 3, LatencyMS: 4})
+	// Shed 503 and a real failure, for contrast.
+	r.add(record{Op: "suggest", Status: 503, Shed: true})
+	r.add(record{Op: "suggest", Status: 500, LatencyMS: 1})
+
+	s := r.summarize(time.Second)
+	if s.Degraded != 1 || s.DegradedItems != 3 {
+		t.Errorf("Degraded = %d, DegradedItems = %d, want 1 and 3", s.Degraded, s.DegradedItems)
+	}
+	// Only the plain 500 is a failure: not the degraded 503, not the
+	// shed 503, not the partially degraded 200.
+	if s.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", s.Failures)
+	}
+	if s.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", s.Shed)
+	}
+	// The degraded 503's 5000ms is a dead shard's timeout, not service
+	// time; it must stay out of the latency population.
+	if s.LatencyMS.Max != 4 {
+		t.Errorf("latency max = %v, want 4 (degraded latency leaked in)", s.LatencyMS.Max)
+	}
+	// Degraded responses are still booked by status.
+	if s.ByStatus["503"] != 2 {
+		t.Errorf("ByStatus[503] = %d, want 2 (shed + degraded)", s.ByStatus["503"])
+	}
+}
+
+// degradedStub answers like a coordinator in a kill window: /api paths
+// 503 with a shard-unavailable body, /batch paths 200 with the
+// X-Fleet-Degraded header.
+func degradedStub() (*httptest.Server, *atomic.Int64) {
+	var n atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		if strings.HasPrefix(r.URL.Path, "/batch/") {
+			w.Header().Set("X-Fleet-Degraded", "2")
+			fmt.Fprint(w, `{"results":[{"error":"shard s1 unavailable"},{"error":"shard s1 unavailable"}]}`)
+			return
+		}
+		http.Error(w, "shard s1 unavailable: connection refused", http.StatusServiceUnavailable)
+	})), &n
+}
+
+// TestIssueDetectsDegradation drives issue() against coordinator-style
+// degraded answers: the 503 must be classified degraded (and never
+// retried — it is an HTTP response, not a transport error), and the
+// 200 batch must pick up the per-item count from the header.
+func TestIssueDetectsDegradation(t *testing.T) {
+	srv, hits := degradedStub()
+	defer srv.Close()
+	run := &runner{
+		client: srv.Client(), base: srv.URL, records: newRecorder(nil),
+		retries: 3, retryBase: time.Millisecond,
+	}
+	run.issue(0, op{kind: "search", path: "/api/search?q=x&lake=lake-1"})
+	run.issue(0, op{kind: "batch_suggest", path: "/batch/suggest", body: `{"queries":[]}`})
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("degraded responses were retried: %d attempts for 2 requests", got)
+	}
+	s := run.records.summarize(time.Second)
+	if s.Degraded != 1 || s.DegradedItems != 2 {
+		t.Errorf("Degraded = %d, DegradedItems = %d, want 1 and 2", s.Degraded, s.DegradedItems)
+	}
+	if s.Failures != 0 || s.Shed != 0 || s.NetErrors != 0 || s.Retries != 0 {
+		t.Errorf("degradation leaked into other buckets: %+v", s)
+	}
+}
+
+// TestScheduleLakes pins fleet mode's two contracts: -lakes 0 leaves
+// the schedule byte-identical to a lake-less generator (single-server
+// runs replay exactly), and -lakes N threads lake ids through every op
+// kind — query params on single ops, item fields in batch bodies.
+func TestScheduleLakes(t *testing.T) {
+	base := opGenConfig{Seed: 11, Queries: 16, ZipfS: 1.1, K: 5, BatchSize: 3, RootChildren: 2, NavReady: true}
+
+	zero := base
+	zero.Lakes = 0
+	plain := drawOps(mustGen(t, base), 1, 300)
+	gated := drawOps(mustGen(t, zero), 1, 300)
+	for i := range plain {
+		if plain[i] != gated[i] {
+			t.Fatalf("Lakes=0 changed the schedule at op %d:\n %+v\n %+v", i, plain[i], gated[i])
+		}
+	}
+
+	fleet := base
+	fleet.Lakes = 4
+	single, batch := 0, 0
+	for _, o := range drawOps(mustGen(t, fleet), 1, 300) {
+		switch o.kind {
+		case "suggest", "discover", "search":
+			u, err := url.Parse(o.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lake := u.Query().Get("lake")
+			if !strings.HasPrefix(lake, "lake-") {
+				t.Fatalf("%s op without lake param: %q", o.kind, o.path)
+			}
+			single++
+		case "batch_suggest", "batch_search":
+			var req struct {
+				Queries []struct {
+					Lake string `json:"lake"`
+				} `json:"queries"`
+			}
+			if err := json.Unmarshal([]byte(o.body), &req); err != nil {
+				t.Fatal(err)
+			}
+			for j, item := range req.Queries {
+				if !strings.HasPrefix(item.Lake, "lake-") {
+					t.Fatalf("%s item %d without lake field: %s", o.kind, j, o.body)
+				}
+			}
+			batch++
+		}
+	}
+	if single == 0 || batch == 0 {
+		t.Fatalf("schedule shape: %d single, %d batch ops", single, batch)
+	}
+
+	// Fleet schedules are deterministic too.
+	a := drawOps(mustGen(t, fleet), 2, 100)
+	b := drawOps(mustGen(t, fleet), 2, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fleet schedule not deterministic at op %d", i)
+		}
 	}
 }
 

@@ -1,30 +1,13 @@
 // Command navserver serves an organization over HTTP: a JSON API plus a
 // minimal HTML browser, the web analogue of the user-study prototype.
+// The HTTP layer itself lives in internal/navhttp (so the fleet
+// coordinator's tests can boot real in-process shards); this binary
+// owns the flags, the listener lifecycle, and the background build.
 //
 //	navserver -lake lake.json [-org org.json] [-dims N] [-addr :8080]
 //	          [-checkpoint search.ck] [-resume] [-max-inflight 64]
 //	          [-pprof localhost:6060] [-cache-size 4096] [-max-batch 256]
-//
-// API:
-//
-//	GET /api/node?dim=0&path=0.2.1   the node at that child-index path
-//	GET /api/suggest?dim=0&path=…&q=terms&k=5  ranked children for a query
-//	GET /api/discover?dim=0&q=terms&k=10  tables most likely discovered by navigation
-//	GET /api/search?q=terms&k=10     BM25 table search
-//	POST /batch/suggest              {"queries":[{dim,path,q,k},…]} answered as one batch
-//	POST /batch/search               {"queries":[{q,k},…]} answered as one batch
-//	GET /healthz                     liveness (always 200 once listening)
-//	GET /readyz                      readiness (503 until the organization is built)
-//	GET /metrics                     JSON metrics (requests, latencies, build progress)
-//	GET /                            HTML browser
-//
-// Query evaluation goes through internal/serve: each served
-// organization is wrapped in an immutable snapshot whose quantized
-// query-topic cache makes repeated and batched queries cheap, and whose
-// generation stamp invalidates the shared cache wholesale on the atomic
-// org swap. Cached answers are bit-identical to uncached ones. The
-// batch endpoints fan their queries across the evaluator's bounded
-// worker pool; -cache-size and -max-batch bound both fast paths.
+//	          [-journal commits.journal] [-shard-id s0]
 //
 // The server is built to stay up: keyword search is served from the lake
 // the moment the listener is open, while the organization — when not
@@ -34,142 +17,26 @@
 // read/write/idle timeouts, and SIGINT/SIGTERM drain in-flight requests
 // before exiting. A background build checkpoints to -checkpoint and a
 // restart with -resume continues it rather than starting over.
+//
+// As one shard of a fleet (see cmd/lakecoord), the server is started
+// with -shard-id: /admin/shard then reports the shard's identity and
+// serving generation to the coordinator's health checker, and the
+// /metrics export is tagged with the shard id.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"os/signal"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lakenav"
-	"lakenav/internal/serve"
+	"lakenav/internal/navhttp"
 )
-
-// Request validation bounds: dotted navigation paths, result counts and
-// batch sizes are user input and must not be able to drive unbounded
-// work. Path bounds are owned by internal/serve so the HTTP layer and
-// the evaluator agree on them.
-const (
-	maxSearchK      = 1000
-	defaultInflight = 64
-	defaultMaxBatch = 256
-	maxBatchBody    = 1 << 20 // batch request body cap, bytes
-)
-
-type server struct {
-	search *lakenav.SearchEngine
-	// snap is the serving snapshot, swapped in atomically when the
-	// background build finishes (and on any future rebuild), so request
-	// handlers never see a half-built organization and never block on
-	// construction. Before the build lands the snapshot is not-ready:
-	// search still works, navigation answers 503.
-	snap atomic.Pointer[serve.Snapshot]
-	// cache is the shared query-result cache surviving org swaps (each
-	// swap's new snapshot generation invalidates old entries wholesale);
-	// nil disables caching.
-	cache *serve.Cache
-	// serveWorkers bounds the batch fan-out pool (0 = all CPUs).
-	serveWorkers int
-	// maxBatch bounds queries per batch request.
-	maxBatch int
-	// sem bounds concurrently served requests; a full semaphore sheds
-	// load with 503 instead of queueing without bound.
-	sem chan struct{}
-	// metrics is this server's registry, exported via /metrics.
-	metrics *serverMetrics
-	// hist retains recent ingest generations for /admin/generations and
-	// rollback; nil when the server runs without a journal.
-	hist *serve.History
-	// genMu serializes generation swaps (ingest publishes vs. operator
-	// rollbacks) so the history's current marker and the served
-	// snapshot never disagree.
-	genMu sync.Mutex
-}
-
-// serveOptions configures the serving fast path; the zero value means
-// a default-sized cache, default batch bound, and all-CPU fan-out.
-type serveOptions struct {
-	// cacheSize is the cache entry capacity: 0 selects
-	// serve.DefaultCacheSize, negative disables caching.
-	cacheSize int
-	// maxBatch bounds queries per batch request; 0 selects
-	// defaultMaxBatch.
-	maxBatch int
-	// workers bounds the batch fan-out pool; 0 uses all CPUs.
-	workers int
-}
-
-func newServer(search *lakenav.SearchEngine, maxInflight int) *server {
-	return newServerWith(search, maxInflight, serveOptions{})
-}
-
-func newServerWith(search *lakenav.SearchEngine, maxInflight int, opts serveOptions) *server {
-	if maxInflight <= 0 {
-		maxInflight = defaultInflight
-	}
-	if opts.maxBatch <= 0 {
-		opts.maxBatch = defaultMaxBatch
-	}
-	s := &server{
-		search:       search,
-		serveWorkers: opts.workers,
-		maxBatch:     opts.maxBatch,
-		sem:          make(chan struct{}, maxInflight),
-		metrics:      newServerMetrics(),
-	}
-	if opts.cacheSize >= 0 {
-		s.cache = serve.NewCache(opts.cacheSize)
-	}
-	s.setOrganization(nil) // not-ready snapshot: search works immediately
-	return s
-}
-
-// setOrganization wraps org in a fresh snapshot and swaps it in. The
-// new snapshot's generation stamp makes every cache entry written under
-// the previous organization unreachable, so in-flight and future
-// requests only ever see answers computed against the organization they
-// were routed to.
-func (s *server) setOrganization(org *lakenav.Organization) {
-	s.snap.Store(serve.NewSnapshot(org, s.search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
-}
-
-// snapshot returns the current serving snapshot (never nil).
-func (s *server) snapshot() *serve.Snapshot { return s.snap.Load() }
-
-// organization returns the currently served organization, or nil while
-// the background build is still running.
-func (s *server) organization() *lakenav.Organization { return s.snap.Load().Org() }
-
-// handler assembles the route table inside the middleware chain:
-// panic recovery outermost, then request logging, then metrics (so
-// shed responses are metered too), then load shedding.
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/node", s.handleNode)
-	mux.HandleFunc("/api/suggest", s.handleSuggest)
-	mux.HandleFunc("/api/discover", s.handleDiscover)
-	mux.HandleFunc("/api/search", s.handleSearch)
-	mux.HandleFunc("/batch/suggest", s.handleBatchSuggest)
-	mux.HandleFunc("/batch/search", s.handleBatchSearch)
-	mux.HandleFunc("/admin/generations", s.handleGenerations)
-	mux.HandleFunc("/admin/rollback", s.handleRollback)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/", s.handleIndex)
-	return recoverware(logware(s.metricsware(s.limitware(mux))))
-}
 
 func main() {
 	path := flag.String("lake", "", "lake JSON path")
@@ -178,16 +45,17 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	checkpoint := flag.String("checkpoint", "", "checkpoint the background build to this path (dimension i appends .dim<i>)")
 	resume := flag.Bool("resume", false, "resume the background build from -checkpoint files when present")
-	maxInflight := flag.Int("max-inflight", defaultInflight, "maximum concurrently served requests before shedding with 503")
+	maxInflight := flag.Int("max-inflight", 64, "maximum concurrently served requests before shedding with 503")
 	workers := flag.Int("workers", 0, "evaluator goroutine pool size for the background build; 0 uses all CPUs")
 	restarts := flag.Int("restarts", 1, "independent searches per dimension in the background build, keeping the most effective")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	cacheSize := flag.Int("cache-size", 0, "query-result cache capacity in entries; 0 uses the default, negative disables caching")
-	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum queries per /batch request")
+	maxBatch := flag.Int("max-batch", 256, "maximum queries per /batch request")
 	journalPath := flag.String("journal", "", "tail this commit journal (written by `lakenav ingest`), serving a frozen generation per committed batch")
 	poll := flag.Duration("poll", 2*time.Second, "journal poll interval (with -journal)")
 	generations := flag.Int("generations", 5, "ingest generations retained for /admin/rollback (with -journal)")
 	reoptimize := flag.Bool("reoptimize", false, "run a localized, deterministically seeded search after each ingested batch (with -journal)")
+	shardID := flag.String("shard-id", "", "this server's shard id within a fleet (reported by /admin/shard and /metrics)")
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("navserver: missing -lake")
@@ -196,15 +64,18 @@ func main() {
 	if err != nil {
 		log.Fatal("navserver: ", err)
 	}
-	s := newServerWith(lakenav.NewSearchEngine(l), *maxInflight, serveOptions{
-		cacheSize: *cacheSize,
-		maxBatch:  *maxBatch,
-	})
+	opts := navhttp.Options{
+		MaxInflight: *maxInflight,
+		CacheSize:   *cacheSize,
+		MaxBatch:    *maxBatch,
+		ShardID:     *shardID,
+	}
 	if *journalPath != "" {
 		// Allocated before the listener starts so request handlers never
-		// observe the field changing.
-		s.hist = serve.NewHistory(*generations)
+		// observe history appearing mid-flight.
+		opts.Generations = *generations
 	}
+	s := navhttp.New(lakenav.NewSearchEngine(l), opts)
 	ingestCfg := lakenav.IngestConfig{Reoptimize: *reoptimize, Seed: 1, Workers: *workers}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -213,7 +84,7 @@ func main() {
 	// buildWG joins the background organization build on shutdown:
 	// OrganizeContext honors ctx, so cancelling and waiting bounds exit
 	// latency while guaranteeing the goroutine is gone before main
-	// returns (no half-finished setOrganization racing process exit).
+	// returns (no half-finished SetOrganization racing process exit).
 	var buildWG sync.WaitGroup
 
 	if *orgPath != "" {
@@ -225,11 +96,11 @@ func main() {
 		if *journalPath != "" {
 			// Serving switches to frozen generations: the working lake and
 			// organization belong to the ingester from here on.
-			if err := startIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
+			if err := navhttp.StartIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
 				log.Fatal("navserver: ingest: ", err)
 			}
 		} else {
-			s.setOrganization(org)
+			s.SetOrganization(org)
 		}
 	} else {
 		cfg := lakenav.DefaultConfig()
@@ -240,25 +111,25 @@ func main() {
 		cfg.Restarts = *restarts
 		// Optimizer progress events drive the build.* gauges, so an
 		// operator can watch a long build converge via /metrics.
-		cfg.Progress = s.metrics.noteBuildProgress
-		s.metrics.buildRunning.Set(1)
+		cfg.Progress = s.NoteBuildProgress
+		s.SetBuildRunning(true)
 		log.Printf("organizing %d tables in the background…", l.Tables())
 		buildWG.Add(1)
 		go func() {
 			defer buildWG.Done()
-			defer s.metrics.buildRunning.Set(0)
+			defer s.SetBuildRunning(false)
 			org, err := lakenav.OrganizeContext(ctx, l, cfg)
 			if err != nil {
 				log.Printf("navserver: organize: %v (navigation unavailable; search still served)", err)
 				return
 			}
 			if *journalPath != "" {
-				if err := startIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
+				if err := navhttp.StartIngest(ctx, s, l, org, *journalPath, *poll, ingestCfg); err != nil {
 					log.Printf("navserver: ingest: %v (serving the freshly built organization only)", err)
-					s.setOrganization(org)
+					s.SetOrganization(org)
 				}
 			} else {
-				s.setOrganization(org)
+				s.SetOrganization(org)
 			}
 			if org.Truncated() {
 				log.Printf("organization build interrupted; serving best-so-far (%d dimensions)", org.Dimensions())
@@ -270,12 +141,12 @@ func main() {
 
 	if *pprofAddr != "" {
 		// The profiler gets its own listener: no public exposure, no
-		// request timeouts, no load-shedding budget (see pprofMux).
+		// request timeouts, no load-shedding budget (see PprofMux).
 		//
 		//lakelint:ignore goroleak -- process-lifetime debug listener; it dies with the process and has nothing to hand back
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
+			if err := http.ListenAndServe(*pprofAddr, navhttp.PprofMux()); err != nil {
 				log.Printf("navserver: pprof: %v", err)
 			}
 		}()
@@ -283,7 +154,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -312,417 +183,3 @@ func main() {
 	buildWG.Wait()
 	log.Print("bye")
 }
-
-// recoverware converts a handler panic into a 500 instead of killing
-// the connection (and, for panics on the main goroutine of a handler,
-// the process).
-func recoverware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if v := recover(); v != nil {
-				log.Printf("navserver: panic serving %s %s: %v", r.Method, r.URL.Path, v)
-				http.Error(w, "internal server error", http.StatusInternalServerError)
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
-}
-
-// statusRecorder captures the status code for the request log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (sr *statusRecorder) WriteHeader(code int) {
-	sr.status = code
-	sr.ResponseWriter.WriteHeader(code)
-}
-
-func logware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sr, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sr.status, time.Since(start).Round(time.Microsecond))
-	})
-}
-
-// limitware sheds load once maxInflight requests are in flight. Health
-// probes and the metrics export bypass the limit: an overloaded server
-// is still alive, and orchestrators (and the operator debugging the
-// overload) must be able to see that.
-func (s *server) limitware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case "/healthz", "/readyz", "/metrics", "/admin/generations", "/admin/rollback":
-			// Probes, metrics, and generation admin bypass shedding: an
-			// overloaded server must stay observable, and overload is
-			// exactly when an operator may need to roll a bad batch back.
-			next.ServeHTTP(w, r)
-			return
-		}
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-			next.ServeHTTP(w, r)
-		default:
-			s.metrics.shed.Inc()
-			http.Error(w, "overloaded", http.StatusServiceUnavailable)
-		}
-	})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
-}
-
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.organization() == nil {
-		http.Error(w, "organization not built yet", http.StatusServiceUnavailable)
-		return
-	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ready")
-}
-
-// parseDim validates the dim query parameter against the served
-// organization. An absent parameter means dimension 0.
-func parseDim(r *http.Request, org *lakenav.Organization) (int, error) {
-	raw := r.URL.Query().Get("dim")
-	if raw == "" {
-		return 0, nil
-	}
-	dim, err := strconv.Atoi(raw)
-	if err != nil || dim < 0 {
-		return 0, fmt.Errorf("bad dim %q: want a non-negative integer", raw)
-	}
-	if dim >= org.Dimensions() {
-		return 0, fmt.Errorf("dim %d out of range: organization has %d dimensions", dim, org.Dimensions())
-	}
-	return dim, nil
-}
-
-// navigateTo positions a fresh navigator at the dotted child-index
-// path; validation (length, depth, element range) lives in
-// serve.Navigate so the HTTP layer and the cached fast path agree.
-func navigateTo(org *lakenav.Organization, dim int, path string) (*lakenav.Navigator, error) {
-	return serve.Navigate(org, dim, path)
-}
-
-// parseK validates an optional k query parameter in [1, maxSearchK];
-// absent returns def.
-func parseK(r *http.Request, def int) (int, error) {
-	raw := r.URL.Query().Get("k")
-	if raw == "" {
-		return def, nil
-	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k <= 0 || k > maxSearchK {
-		return 0, fmt.Errorf("bad k %q: want an integer in [1, %d]", raw, maxSearchK)
-	}
-	return k, nil
-}
-
-// requireOrg is the not-ready guard for navigation endpoints; search
-// endpoints work straight off the lake and never need it.
-func (s *server) requireOrg(w http.ResponseWriter) *lakenav.Organization {
-	org := s.organization()
-	if org == nil {
-		http.Error(w, "organization still building; try /api/search or retry shortly", http.StatusServiceUnavailable)
-	}
-	return org
-}
-
-// requireReady is requireOrg for handlers that already hold a snapshot:
-// the guard and the evaluation must use the same snapshot, or a swap
-// between them could turn a not-ready condition into a spurious 400.
-func requireReady(w http.ResponseWriter, snap *serve.Snapshot) bool {
-	if !snap.Ready() {
-		http.Error(w, "organization still building; try /api/search or retry shortly", http.StatusServiceUnavailable)
-		return false
-	}
-	return true
-}
-
-type nodeResponse struct {
-	Here     lakenav.Node   `json:"here"`
-	Depth    int            `json:"depth"`
-	Dim      int            `json:"dim"`
-	Children []lakenav.Node `json:"children"`
-}
-
-func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
-	org := s.requireOrg(w)
-	if org == nil {
-		return
-	}
-	dim, err := parseDim(r, org)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	nav, err := navigateTo(org, dim, r.URL.Query().Get("path"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, nodeResponse{
-		Here:     nav.Here(),
-		Depth:    nav.Depth(),
-		Dim:      nav.Dimension(),
-		Children: nav.Children(),
-	})
-}
-
-func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
-	if !requireReady(w, snap) {
-		return
-	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q", http.StatusBadRequest)
-		return
-	}
-	dim, err := parseDim(r, snap.Org())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	k, err := parseK(r, 0) // 0 = all children
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	sugg, err := snap.Suggest(dim, r.URL.Query().Get("path"), q, k)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, sugg)
-}
-
-// handleDiscover serves the table-discovery ranking: for a query, the
-// probability each lake table is found by a navigation session. This is
-// the endpoint whose reach sweep the serving cache amortizes.
-func (s *server) handleDiscover(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
-	if !requireReady(w, snap) {
-		return
-	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q", http.StatusBadRequest)
-		return
-	}
-	dim, err := parseDim(r, snap.Org())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	k, err := parseK(r, 10)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	disc, err := snap.Discover(dim, q, k)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, disc)
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q", http.StatusBadRequest)
-		return
-	}
-	k, err := parseK(r, 10)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, s.snapshot().Search(q, k))
-}
-
-// batchRequest is the wire form of both batch endpoints' bodies.
-type batchRequest[T any] struct {
-	Queries []T `json:"queries"`
-}
-
-// decodeBatch reads and bounds a batch request body. It enforces the
-// method, the body size cap, and the per-request query budget, writing
-// the error response itself when the batch is rejected.
-func decodeBatch[T any](s *server, w http.ResponseWriter, r *http.Request) ([]T, bool) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST a JSON body: {\"queries\": [...]}", http.StatusMethodNotAllowed)
-		return nil, false
-	}
-	var req batchRequest[T]
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	if len(req.Queries) == 0 {
-		http.Error(w, "empty batch: want {\"queries\": [...]}", http.StatusBadRequest)
-		return nil, false
-	}
-	if len(req.Queries) > s.maxBatch {
-		http.Error(w, fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch), http.StatusBadRequest)
-		return nil, false
-	}
-	return req.Queries, true
-}
-
-// batchSuggestItem is one answer of a /batch/suggest response; Error is
-// per-item so one malformed query never fails its siblings.
-type batchSuggestItem struct {
-	Suggestions []lakenav.ScoredNode `json:"suggestions"`
-	Error       string               `json:"error,omitempty"`
-}
-
-func (s *server) handleBatchSuggest(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
-	if !requireReady(w, snap) {
-		return
-	}
-	reqs, ok := decodeBatch[serve.SuggestRequest](s, w, r)
-	if !ok {
-		return
-	}
-	results := snap.SuggestBatch(reqs)
-	items := make([]batchSuggestItem, len(results))
-	for i, res := range results {
-		items[i].Suggestions = res.Suggestions
-		if res.Err != nil {
-			items[i].Error = res.Err.Error()
-		}
-	}
-	writeJSON(w, struct {
-		Results []batchSuggestItem `json:"results"`
-	}{items})
-}
-
-// batchSearchItem is one answer of a /batch/search response.
-type batchSearchItem struct {
-	Tables []string `json:"tables"`
-	Error  string   `json:"error,omitempty"`
-}
-
-func (s *server) handleBatchSearch(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
-	reqs, ok := decodeBatch[serve.SearchRequest](s, w, r)
-	if !ok {
-		return
-	}
-	// Validate per item (k bounds match /api/search); invalid items are
-	// answered with an error, valid ones still go through the batch.
-	valid := make([]serve.SearchRequest, 0, len(reqs))
-	items := make([]batchSearchItem, len(reqs))
-	slot := make([]int, 0, len(reqs))
-	for i, req := range reqs {
-		if req.Q == "" {
-			items[i].Error = "missing q"
-			continue
-		}
-		if req.K == 0 {
-			req.K = 10
-		}
-		if req.K < 0 || req.K > maxSearchK {
-			items[i].Error = fmt.Sprintf("bad k %d: want an integer in [1, %d]", req.K, maxSearchK)
-			continue
-		}
-		valid = append(valid, req)
-		slot = append(slot, i)
-	}
-	for i, res := range snap.SearchBatch(valid) {
-		items[slot[i]].Tables = res.Tables
-	}
-	writeJSON(w, struct {
-		Results []batchSearchItem `json:"results"`
-	}{items})
-}
-
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, indexHTML)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
-		log.Printf("navserver: encode: %v", err)
-	}
-}
-
-const indexHTML = `<!doctype html>
-<meta charset="utf-8">
-<title>lakenav</title>
-<style>
- body { font: 15px/1.5 system-ui, sans-serif; max-width: 48rem; margin: 2rem auto; padding: 0 1rem; }
- li { cursor: pointer; padding: .15rem 0; }
- li:hover { text-decoration: underline; }
- .leaf { color: #2a7; }
- #crumbs { color: #666; margin-bottom: .5rem; }
- input { width: 60%; padding: .3rem; }
-</style>
-<h1>lakenav</h1>
-<div id="crumbs"></div>
-<h2 id="label"></h2>
-<ul id="children"></ul>
-<p><input id="q" placeholder="rank choices against a query"> <button onclick="suggest()">suggest</button></p>
-<script>
-let path = [];
-async function load() {
-  const res = await fetch('/api/node?path=' + path.join('.'));
-  if (res.status === 503) {
-    document.getElementById('label').textContent = 'organization still building — retrying…';
-    setTimeout(load, 2000);
-    return;
-  }
-  const node = await res.json();
-  document.getElementById('label').textContent = node.here.Label + ' (' + node.here.Attrs + ' attributes)';
-  document.getElementById('crumbs').textContent = 'depth ' + node.depth + (path.length ? ' — click a node to descend, ⌫ to go up' : '');
-  const ul = document.getElementById('children');
-  ul.innerHTML = '';
-  if (path.length) {
-    const up = document.createElement('li');
-    up.textContent = '⌫ up';
-    up.onclick = () => { path.pop(); load(); };
-    ul.appendChild(up);
-  }
-  (node.children || []).forEach((c, i) => {
-    const li = document.createElement('li');
-    li.textContent = c.Label + ' (' + c.Attrs + ')' + (c.IsLeaf ? ' — table ' + c.Table : '');
-    if (c.IsLeaf) li.className = 'leaf';
-    else li.onclick = () => { path.push(i); load(); };
-    ul.appendChild(li);
-  });
-}
-async function suggest() {
-  const q = document.getElementById('q').value;
-  if (!q) return;
-  const res = await fetch('/api/suggest?q=' + encodeURIComponent(q) + '&path=' + path.join('.'));
-  const ranked = await res.json();
-  const ul = document.getElementById('children');
-  ul.innerHTML = '';
-  (ranked || []).forEach(s => {
-    const li = document.createElement('li');
-    li.textContent = (100 * s.Probability).toFixed(1) + '%  ' + s.Label;
-    if (!s.IsLeaf) li.onclick = () => { path.push(s.Index); load(); };
-    ul.appendChild(li);
-  });
-}
-load();
-</script>`

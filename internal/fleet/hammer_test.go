@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFleetHammer drives concurrent batch traffic through the
+// coordinator while (a) the shard map is swapped between a 3-shard and
+// a 2-shard fleet and (b) shards are rolled down and back up — the
+// -race test the ISSUE calls for. Invariants checked on every single
+// response:
+//
+//   - no lost responses: every batch answers 200 with exactly one item
+//     per query, and no item is empty — it is either the reference
+//     answer or a shard-unavailable error;
+//   - position-stable merge: item i carries query i's k, so a
+//     misrouted merge (answers shifted between positions) is caught by
+//     comparing against the per-position reference bytes;
+//   - degradation only: the coordinator itself never 5xxs.
+//
+// Shards share one deterministic org, so every position's healthy
+// answer is bit-identical to the reference regardless of which shard
+// produced it or which map routed it.
+func TestFleetHammer(t *testing.T) {
+	tf := bootFleet(t, 3, Options{
+		MaxInflight: 512,
+		Client:      ClientOptions{Timeout: 2 * time.Second, Retries: 0},
+	})
+
+	// Distinct k per position makes the reference position-sensitive:
+	// queries 0,1,2 ask for k=1,2,3 suggestions respectively.
+	var items []string
+	for i := 0; i < 9; i++ {
+		items = append(items, fmt.Sprintf(`{"lake":"lake-%d","q":"salmon","k":%d}`, i, i%3+1))
+	}
+	body := `{"queries":[` + strings.Join(items, ",") + `]}`
+
+	// Reference answers, one per position, taken while all is healthy.
+	ref := make([]string, len(items))
+	rec := tf.post(t, "/batch/suggest", body)
+	if rec.Code != http.StatusOK || rec.Header().Get(degradedHeader) != "" {
+		t.Fatalf("reference batch: status %d, degraded %q", rec.Code, rec.Header().Get(degradedHeader))
+	}
+	var refResp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &refResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(refResp.Results) != len(items) {
+		t.Fatalf("reference batch: %d results for %d queries", len(refResp.Results), len(items))
+	}
+	for i, raw := range refResp.Results {
+		ref[i] = string(raw)
+	}
+	for i := 1; i < len(ref); i++ {
+		if (i%3) != (0%3) && ref[i] == ref[0] {
+			t.Fatalf("reference answers for k=%d and k=1 are identical; position check would be blind", i%3+1)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		batches  atomic.Int64
+		degraded atomic.Int64
+	)
+
+	// Load workers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				req := httptest.NewRequest(http.MethodPost, "/batch/suggest", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				tf.h.ServeHTTP(rec, req)
+				batches.Add(1)
+				if rec.Code != http.StatusOK {
+					t.Errorf("hammer batch: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var resp struct {
+					Results []json.RawMessage `json:"results"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Errorf("hammer batch: %v", err)
+					return
+				}
+				if len(resp.Results) != len(items) {
+					t.Errorf("lost responses: %d results for %d queries", len(resp.Results), len(items))
+					return
+				}
+				for i, raw := range resp.Results {
+					s := string(raw)
+					switch {
+					case s == ref[i]:
+					case strings.Contains(s, "unavailable") || strings.Contains(s, "status 503"):
+						degraded.Add(1)
+					default:
+						t.Errorf("position %d: answer is neither reference nor degradation:\n got %s\nwant %s", i, s, ref[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Map swapper: flip between the full 3-shard map and a 2-shard map
+	// (s2 removed). Keys never route to a shard absent from the live
+	// map, and in-flight requests finish on the state they started on.
+	twoShards := &ShardMap{Version: ShardMapVersion, Shards: tf.m.Shards[:2]}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		maps := []*ShardMap{twoShards, tf.m}
+		for i := 0; ctx.Err() == nil; i++ {
+			if err := tf.coord.SetMap(ctx, maps[i%2]); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+			if !sleepCtx(ctx, 3*time.Millisecond) {
+				return
+			}
+		}
+	}()
+
+	// Rolling restarter: take each shard down briefly, round-robin.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ids := tf.m.IDs()
+		for i := 0; ctx.Err() == nil; i++ {
+			f := tf.flaky[ids[i%len(ids)]]
+			f.down.Store(true)
+			if !sleepCtx(ctx, 2*time.Millisecond) {
+				f.down.Store(false)
+				return
+			}
+			f.down.Store(false)
+			if !sleepCtx(ctx, time.Millisecond) {
+				return
+			}
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	if n := batches.Load(); n < 20 {
+		t.Errorf("only %d batches completed; hammer did not exercise the fleet", n)
+	}
+	t.Logf("hammer: %d batches, %d degraded items", batches.Load(), degraded.Load())
+
+	// Quiesce: everything back up, the final map restored — traffic
+	// must return to fully healthy, bit-identical answers.
+	finalCtx, finalCancel := context.WithCancel(context.Background())
+	defer finalCancel()
+	if err := tf.coord.SetMap(finalCtx, tf.m); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tf.flaky {
+		f.down.Store(false)
+	}
+	rec = tf.post(t, "/batch/suggest", body)
+	if rec.Code != http.StatusOK || rec.Header().Get(degradedHeader) != "" {
+		t.Fatalf("post-hammer batch: status %d, degraded %q: %s", rec.Code, rec.Header().Get(degradedHeader), rec.Body)
+	}
+	var finalResp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &finalResp); err != nil {
+		t.Fatal(err)
+	}
+	for i, raw := range finalResp.Results {
+		if string(raw) != ref[i] {
+			t.Errorf("post-hammer position %d diverged from reference", i)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ringShards builds n shard ids s0…s(n-1).
+func ringShards(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%d", i)
+	}
+	return ids
+}
+
+// ringKeys derives k distinct mixed navigation/search placement keys
+// over many lakes — the key population every property below is
+// measured against. Distinctness matters: balance is a property of the
+// hash over keys, and duplicate keys would fold traffic skew into the
+// measurement.
+func ringKeys(k int) []string {
+	keys := make([]string, 0, k)
+	for i := 0; len(keys) < k; i++ {
+		if i%2 == 0 {
+			keys = append(keys, NavKey(fmt.Sprintf("lake-%d", i), i%5))
+		} else {
+			keys = append(keys, SearchKey(fmt.Sprintf("lake-%d", i%7), fmt.Sprintf("query %d", i)))
+		}
+	}
+	return keys
+}
+
+// TestRingPlacementDeterministic pins that placement is a pure function
+// of (shard set, vnodes, key): rebuilt rings agree, and shard input
+// order — the stand-in for map iteration order — is irrelevant.
+func TestRingPlacementDeterministic(t *testing.T) {
+	ids := ringShards(5)
+	reversed := make([]string, len(ids))
+	for i, id := range ids {
+		reversed[len(ids)-1-i] = id
+	}
+	shuffled := []string{"s2", "s0", "s4", "s1", "s3"}
+	a := NewRing(ids, 0)
+	b := NewRing(reversed, 0)
+	c := NewRing(shuffled, 0)
+	rebuilt := NewRing(ids, 0)
+	for _, key := range ringKeys(2000) {
+		want := a.Place(key)
+		if got := b.Place(key); got != want {
+			t.Fatalf("reversed input order moved %q: %s vs %s", key, got, want)
+		}
+		if got := c.Place(key); got != want {
+			t.Fatalf("shuffled input order moved %q: %s vs %s", key, got, want)
+		}
+		if got := rebuilt.Place(key); got != want {
+			t.Fatalf("rebuild moved %q: %s vs %s", key, got, want)
+		}
+	}
+}
+
+// TestRingRemapBound is the consistent-hashing contract: adding or
+// removing one of N shards remaps roughly K/N of K keys, not all of
+// them. The bound is checked across fleet sizes with slack for hash
+// variance (3× the ideal fraction, which a modulo-style placement —
+// remapping nearly everything — fails by an order of magnitude).
+func TestRingRemapBound(t *testing.T) {
+	const K = 4000
+	keys := ringKeys(K)
+	for _, n := range []int{3, 5, 8} {
+		ids := ringShards(n)
+		before := NewRing(ids, 0)
+
+		grown := NewRing(append(append([]string(nil), ids...), fmt.Sprintf("s%d", n)), 0)
+		if moved := countMoved(keys, before, grown); moved > 3*K/(n+1) {
+			t.Errorf("add shard to %d: %d/%d keys moved, want ≲ %d", n, moved, K, 3*K/(n+1))
+		}
+
+		shrunk := NewRing(ids[:n-1], 0)
+		moved := 0
+		gone := ids[n-1]
+		for _, key := range keys {
+			was := before.Place(key)
+			now := shrunk.Place(key)
+			if was == gone {
+				if now == gone {
+					t.Fatalf("key %q still placed on removed shard", key)
+				}
+				continue // had to move; not counted against the bound
+			}
+			if was != now {
+				moved++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("remove shard from %d: %d keys moved off surviving shards, want 0", n, moved)
+		}
+	}
+}
+
+func countMoved(keys []string, a, b *Ring) int {
+	moved := 0
+	for _, key := range keys {
+		if a.Place(key) != b.Place(key) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// TestRingCoverageAndBalance checks every lake reaches every shard
+// family member sensibly: all shards receive keys (no starved shard),
+// no shard hoards more than a few multiples of its fair share, and all
+// lakes place successfully.
+func TestRingCoverageAndBalance(t *testing.T) {
+	const K = 8000
+	for _, n := range []int{2, 4, 7} {
+		r := NewRing(ringShards(n), 0)
+		counts := make(map[string]int, n)
+		for _, key := range ringKeys(K) {
+			id := r.Place(key)
+			if id == "" {
+				t.Fatalf("n=%d: key placed nowhere", n)
+			}
+			counts[id]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d of %d shards received keys: %v", n, len(counts), n, counts)
+		}
+		fair := float64(K) / float64(n)
+		for id, got := range counts {
+			if ratio := float64(got) / fair; ratio < 0.25 || ratio > 3 {
+				t.Errorf("n=%d: shard %s holds %d keys (%.2f× fair share)", n, id, got, ratio)
+			}
+		}
+	}
+}
+
+// TestRingVNodesImproveBalance pins why vnodes exist: more virtual
+// nodes must not worsen the spread measured as max/mean load.
+func TestRingVNodesImproveBalance(t *testing.T) {
+	keys := ringKeys(8000)
+	spread := func(vnodes int) float64 {
+		r := NewRing(ringShards(4), vnodes)
+		counts := make(map[string]int)
+		for _, key := range keys {
+			counts[r.Place(key)]++
+		}
+		maxc := 0
+		for _, c := range counts {
+			if c > maxc {
+				maxc = c
+			}
+		}
+		return float64(maxc) / (float64(len(keys)) / 4)
+	}
+	coarse, fine := spread(1), spread(256)
+	if fine > coarse+0.05 {
+		t.Errorf("256 vnodes spread %.3f worse than 1 vnode %.3f", fine, coarse)
+	}
+	if fine > 1.5 {
+		t.Errorf("256-vnode max/fair ratio %.3f, want < 1.5", fine)
+	}
+}
+
+// TestRingKeysDistinct guards the key encodings against collisions:
+// the lake/dim and lake/query namespaces must never overlap, and the
+// separators must keep adjacent fields apart.
+func TestRingKeysDistinct(t *testing.T) {
+	seen := map[string]string{}
+	add := func(label, key string) {
+		if prev, ok := seen[key]; ok {
+			t.Errorf("key collision: %s and %s both encode %q", prev, label, key)
+		}
+		seen[key] = label
+	}
+	add("nav(a,1)", NavKey("a", 1))
+	add("nav(a,11)", NavKey("a", 11))
+	add("nav(a1,1)", NavKey("a1", 1))
+	add("search(a,1)", SearchKey("a", "1"))
+	add("search(a,d)", SearchKey("a", "d"))
+	add("search(,a1)", SearchKey("", "a1"))
+	add("nav(,1)", NavKey("", 1))
+}
+
+// TestHash64KnownVectors pins hash64 (FNV-1a + splitmix64 finalizer)
+// to fixed vectors — placement must agree across processes, and a
+// future "harmless" hash tweak would silently remap every key in every
+// running fleet. Changing these values is a placement migration, not a
+// refactor.
+func TestHash64KnownVectors(t *testing.T) {
+	vectors := map[string]uint64{
+		"":    0xf52a15e9a9b5e89b,
+		"a":   0x02c0bdbf481420f8,
+		"foo": 0x6c2fe7703e1b0bca,
+	}
+	for s, want := range vectors {
+		if got := hash64(s); got != want {
+			t.Errorf("hash64(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+func TestParseShardMap(t *testing.T) {
+	good := `{"version":1,"vnodes":8,"shards":[{"id":"s0","addr":"http://127.0.0.1:7100"},{"id":"s1","addr":"http://127.0.0.1:7101"}]}`
+	m, err := ParseShardMap([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 2 || m.VNodes != 8 {
+		t.Fatalf("parsed map = %+v", m)
+	}
+	if ids := m.IDs(); ids[0] != "s0" || ids[1] != "s1" {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	bad := map[string]string{
+		"wrong version": `{"version":2,"shards":[{"id":"a","addr":"http://x"}]}`,
+		"no shards":     `{"version":1,"shards":[]}`,
+		"empty id":      `{"version":1,"shards":[{"id":"","addr":"http://x"}]}`,
+		"duplicate id":  `{"version":1,"shards":[{"id":"a","addr":"http://x"},{"id":"a","addr":"http://y"}]}`,
+		"bad addr":      `{"version":1,"shards":[{"id":"a","addr":"ftp://x"}]}`,
+		"no host":       `{"version":1,"shards":[{"id":"a","addr":"http://"}]}`,
+		"unknown field": `{"version":1,"nope":true,"shards":[{"id":"a","addr":"http://x"}]}`,
+		"negative vnodes": `{"version":1,"vnodes":-1,` +
+			`"shards":[{"id":"a","addr":"http://x"}]}`,
+		"malformed": `{"version":`,
+	}
+	for name, body := range bad {
+		if _, err := ParseShardMap([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadShardMapMissing(t *testing.T) {
+	if _, err := LoadShardMap("/nonexistent/fleet.json"); err == nil || !strings.Contains(err.Error(), "shard map") {
+		t.Errorf("missing file: err = %v", err)
+	}
+}
+
+// TestRingEmpty covers the degenerate rings Place must survive.
+func TestRingEmpty(t *testing.T) {
+	if got := NewRing(nil, 0).Place("x"); got != "" {
+		t.Errorf("empty ring placed on %q", got)
+	}
+	one := NewRing([]string{"only"}, 3)
+	for _, key := range ringKeys(64) {
+		if got := one.Place(key); got != "only" {
+			t.Fatalf("single-shard ring placed %q on %q", key, got)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package fleet turns a set of navserver shards into one multi-tenant
+// service: a coordinator routes every request by its placement key —
+// (lake, dimension) for navigation, (lake, query) for search — onto a
+// consistent-hash ring built from a static shard-map file, fans batches
+// out across shards, and merges the answers position-stably. Placement
+// is sticky by design: the same key always lands on the same shard, so
+// each shard's generation-stamped serve cache stays hot and
+// bit-identical without any cross-shard invalidation protocol.
+//
+// Shards are the plain navserver binary started with -shard-id; the
+// coordinator (cmd/lakecoord) health-checks them via /admin/shard and
+// degrades per item — a dead shard costs exactly the items placed on
+// it, never the whole request.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+)
+
+// ShardMapVersion is the only shard-map format version this build
+// reads; bump it when the format changes shape.
+const ShardMapVersion = 1
+
+// ShardInfo names one navserver shard: its stable id (the ring hashes
+// ids, so renaming a shard remaps its keys) and its base URL.
+type ShardInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ShardMap is the static placement file the coordinator serves from:
+//
+//	{"version":1,"vnodes":64,"shards":[{"id":"s0","addr":"http://127.0.0.1:7100"}, …]}
+//
+// VNodes tunes placement granularity (virtual nodes per shard on the
+// ring); 0 means DefaultVNodes. The file is the unit of fleet change:
+// add or remove a shard by rewriting it and letting the coordinator's
+// -map-poll pick it up.
+type ShardMap struct {
+	Version int         `json:"version"`
+	VNodes  int         `json:"vnodes,omitempty"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// LoadShardMap reads and validates a shard-map file.
+func LoadShardMap(path string) (*ShardMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard map: %w", err)
+	}
+	return ParseShardMap(data)
+}
+
+// ParseShardMap decodes and validates shard-map JSON. Unknown fields
+// are rejected so a typo in an operator-edited file fails loudly
+// instead of silently changing nothing.
+func ParseShardMap(data []byte) (*ShardMap, error) {
+	var m ShardMap
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("shard map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the structural invariants placement depends on:
+// a known version, at least one shard, unique non-empty ids, and
+// parseable http(s) addresses.
+func (m *ShardMap) Validate() error {
+	if m.Version != ShardMapVersion {
+		return fmt.Errorf("shard map: version %d, want %d", m.Version, ShardMapVersion)
+	}
+	if m.VNodes < 0 {
+		return fmt.Errorf("shard map: negative vnodes %d", m.VNodes)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard map: no shards")
+	}
+	seen := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.ID == "" {
+			return fmt.Errorf("shard map: shard %d has an empty id", i)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("shard map: duplicate shard id %q", s.ID)
+		}
+		seen[s.ID] = true
+		u, err := url.Parse(s.Addr)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("shard map: shard %q: bad addr %q (want http[s]://host[:port])", s.ID, s.Addr)
+		}
+	}
+	return nil
+}
+
+// IDs returns the shard ids in sorted order — the deterministic input
+// the ring is built from, independent of file order.
+func (m *ShardMap) IDs() []string {
+	ids := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,4 +1,4 @@
-package main
+package navhttp
 
 import (
 	"encoding/json"
@@ -207,8 +207,8 @@ func TestServedSuggestionsAreCached(t *testing.T) {
 // TestCacheDisabled covers the -cache-size<0 escape hatch.
 func TestCacheDisabled(t *testing.T) {
 	l, org := testLakeAndOrg(t)
-	s := newServerWith(lakenav.NewSearchEngine(l), 0, serveOptions{cacheSize: -1})
-	s.setOrganization(org)
+	s := New(lakenav.NewSearchEngine(l), Options{CacheSize: -1})
+	s.SetOrganization(org)
 	if s.cache != nil {
 		t.Fatal("cache allocated despite negative size")
 	}
@@ -223,12 +223,12 @@ func TestCacheDisabled(t *testing.T) {
 func TestOrgSwapInvalidatesServedCache(t *testing.T) {
 	l, org := testLakeAndOrg(t)
 	s := newServer(lakenav.NewSearchEngine(l), 0)
-	s.setOrganization(org)
+	s.SetOrganization(org)
 	genBefore := s.snapshot().Generation()
 	if rec := get(t, s.handleSuggest, "/api/suggest?q=salmon"); rec.Code != http.StatusOK {
 		t.Fatalf("prime: status %d", rec.Code)
 	}
-	s.setOrganization(org) // rebuild lands: same structure, new snapshot
+	s.SetOrganization(org) // rebuild lands: same structure, new snapshot
 	if gen := s.snapshot().Generation(); gen <= genBefore {
 		t.Fatalf("generation did not advance: %d -> %d", genBefore, gen)
 	}
@@ -244,7 +244,7 @@ func TestOrgSwapInvalidatesServedCache(t *testing.T) {
 // serveCounterValue reads one serve.* counter out of the /metrics
 // export, which doubles as coverage that the serving metrics are
 // actually published.
-func serveCounterValue(t *testing.T, s *server, name string) uint64 {
+func serveCounterValue(t *testing.T, s *Server, name string) uint64 {
 	t.Helper()
 	rec := get(t, s.handleMetrics, "/metrics")
 	if rec.Code != http.StatusOK {
@@ -271,7 +271,7 @@ func serveCounterValue(t *testing.T, s *server, name string) uint64 {
 func TestBatchSuggestBitIdenticalUnderSwaps(t *testing.T) {
 	l, org := testLakeAndOrg(t)
 	s := newServer(lakenav.NewSearchEngine(l), 0)
-	s.setOrganization(org)
+	s.SetOrganization(org)
 	ref := serve.NewSnapshot(org, lakenav.NewSearchEngine(l), serve.Config{})
 	want, err := ref.Suggest(0, "", "salmon", 0)
 	if err != nil {
@@ -294,6 +294,6 @@ func TestBatchSuggestBitIdenticalUnderSwaps(t *testing.T) {
 		if fmt.Sprint(resp.Results[0].Suggestions) != fmt.Sprint(want) {
 			t.Fatalf("swap %d: batch answer diverged from reference", i)
 		}
-		s.setOrganization(org)
+		s.SetOrganization(org)
 	}
 }

@@ -1,4 +1,4 @@
-package main
+package navhttp
 
 import (
 	"context"
@@ -25,7 +25,7 @@ import (
 // index) before being swapped in, so ingest and serving share nothing
 // mutable.
 type ingester struct {
-	s    *server
+	s    *Server
 	p    *lakenav.IngestPipeline
 	path string
 	// consumed counts journal batches already applied, so a poll only
@@ -33,12 +33,12 @@ type ingester struct {
 	consumed int
 }
 
-// startIngest freezes and publishes generation 0 (the base
+// StartIngest freezes and publishes generation 0 (the base
 // organization), replays any batches already committed to the journal,
 // and starts the polling loop. The organization passed in must have
 // been built over l; after this call both belong to the ingester and
 // must not be used for serving.
-func startIngest(ctx context.Context, s *server, l *lakenav.Lake, org *lakenav.Organization, path string, poll time.Duration, cfg lakenav.IngestConfig) error {
+func StartIngest(ctx context.Context, s *Server, l *lakenav.Lake, org *lakenav.Organization, path string, poll time.Duration, cfg lakenav.IngestConfig) error {
 	p, err := lakenav.NewIngestPipeline(l, org, cfg)
 	if err != nil {
 		return err
@@ -117,16 +117,16 @@ func (ing *ingester) publish() error {
 // genMu ordering guarantee: the history's current marker and the served
 // snapshot always move together, whether the move is a publish or a
 // rollback.
-func (s *server) publishGeneration(g *serve.Generation) {
+func (s *Server) publishGeneration(g *serve.Generation) {
 	s.genMu.Lock()
 	defer s.genMu.Unlock()
 	s.hist.Add(g)
-	s.snap.Store(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
+	s.storeSnapshot(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
 }
 
 // handleGenerations lists the retained generations, newest first, with
 // the one currently serving marked.
-func (s *server) handleGenerations(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGenerations(w http.ResponseWriter, r *http.Request) {
 	if s.hist == nil {
 		http.Error(w, "ingest not enabled (start with -journal)", http.StatusNotFound)
 		return
@@ -141,7 +141,7 @@ func (s *server) handleGenerations(w http.ResponseWriter, r *http.Request) {
 // its generation stamp invalidates every cached answer computed against
 // the abandoned one. Rollback pins serving until the next committed
 // batch publishes a newer generation.
-func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	if s.hist == nil {
 		http.Error(w, "ingest not enabled (start with -journal)", http.StatusNotFound)
 		return
@@ -163,7 +163,7 @@ func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	g, ok := s.hist.Get(seq)
 	if ok {
 		s.hist.SetCurrent(g.Seq)
-		s.snap.Store(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
+		s.storeSnapshot(serve.NewSnapshot(g.Org, g.Search, serve.Config{Cache: s.cache, Workers: s.serveWorkers}))
 	}
 	s.genMu.Unlock()
 	if !ok {

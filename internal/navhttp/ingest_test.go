@@ -1,4 +1,4 @@
-package main
+package navhttp
 
 import (
 	"context"
@@ -16,7 +16,7 @@ import (
 
 // ingestServer starts a journal-tailing server over the shared test
 // lake with the given batches already committed.
-func ingestServer(t *testing.T, poll time.Duration, batches ...journal.Batch) (*server, string) {
+func ingestServer(t *testing.T, poll time.Duration, batches ...journal.Batch) (*Server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "commits.journal")
@@ -37,13 +37,13 @@ func ingestServer(t *testing.T, poll time.Duration, batches ...journal.Batch) (*
 	s.hist = serve.NewHistory(3)
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	if err := startIngest(ctx, s, l, org, path, poll, lakenav.IngestConfig{}); err != nil {
+	if err := StartIngest(ctx, s, l, org, path, poll, lakenav.IngestConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	return s, path
 }
 
-func listGenerations(t *testing.T, s *server) []serve.GenerationInfo {
+func listGenerations(t *testing.T, s *Server) []serve.GenerationInfo {
 	t.Helper()
 	rec := get(t, s.handleGenerations, "/admin/generations")
 	if rec.Code != http.StatusOK {

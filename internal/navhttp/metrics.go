@@ -1,4 +1,4 @@
-package main
+package navhttp
 
 import (
 	"encoding/json"
@@ -41,6 +41,11 @@ type serverMetrics struct {
 	buildEvents      *obs.Counter
 	buildCurrentEff  *obs.FloatGauge
 	buildBestEff     *obs.FloatGauge
+
+	// shardGen mirrors the serving snapshot's generation stamp; in a
+	// fleet it is the per-shard cache-epoch signal (bumped by every org
+	// swap) that /admin/shard reports to the coordinator.
+	shardGen *obs.Gauge
 }
 
 // metricRoutes are the paths instrumented individually; anything else
@@ -49,7 +54,7 @@ type serverMetrics struct {
 var metricRoutes = []string{
 	"/api/node", "/api/suggest", "/api/discover", "/api/search",
 	"/batch/suggest", "/batch/search",
-	"/healthz", "/readyz", "/metrics", "/",
+	"/admin/shard", "/healthz", "/readyz", "/metrics", "/",
 }
 
 func newServerMetrics() *serverMetrics {
@@ -73,6 +78,8 @@ func newServerMetrics() *serverMetrics {
 		buildEvents:      reg.Counter("build.events_total"),
 		buildCurrentEff:  reg.FloatGauge("build.current_eff"),
 		buildBestEff:     reg.FloatGauge("build.best_eff"),
+
+		shardGen: reg.Gauge("shard.generation"),
 	}
 	for _, route := range append([]string{"other"}, metricRoutes...) {
 		m.requests[route] = reg.Counter("http.requests." + route)
@@ -108,6 +115,23 @@ func (m *serverMetrics) statusClass(code int) string {
 	}
 }
 
+// NoteBuildProgress feeds one optimizer progress event into the build
+// gauges /metrics exposes; cmd/navserver wires it as the background
+// build's Config.Progress callback.
+func (s *Server) NoteBuildProgress(p lakenav.ProgressEvent) {
+	s.metrics.noteBuildProgress(p)
+}
+
+// SetBuildRunning flips the build.running gauge around a background
+// organization build.
+func (s *Server) SetBuildRunning(running bool) {
+	v := int64(0)
+	if running {
+		v = 1
+	}
+	s.metrics.buildRunning.Set(v)
+}
+
 // noteBuildProgress feeds one optimizer progress event into the build
 // gauges; it is the Config.Progress callback of the background build.
 func (m *serverMetrics) noteBuildProgress(p lakenav.ProgressEvent) {
@@ -126,7 +150,7 @@ func (m *serverMetrics) noteBuildProgress(p lakenav.ProgressEvent) {
 // status-class counters, the latency histograms, and the in-flight
 // gauge. It sits outside the load-shedding middleware so shed 503s are
 // metered like any other response.
-func (s *server) metricsware(next http.Handler) http.Handler {
+func (s *Server) metricsware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics
 		route := m.route(r.URL.Path)
@@ -144,12 +168,13 @@ func (s *server) metricsware(next http.Handler) http.Handler {
 // handleMetrics serves the JSON metrics export: the server's own
 // registry plus the process-wide core (evaluator / worker pool)
 // registry.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	resp := struct {
-		Server obs.Snapshot `json:"server"`
-		Core   obs.Snapshot `json:"core"`
-	}{s.metrics.reg.Snapshot(), obs.Default.Snapshot()}
+		ShardID string       `json:"shard_id,omitempty"`
+		Server  obs.Snapshot `json:"server"`
+		Core    obs.Snapshot `json:"core"`
+	}{s.shardID, s.metrics.reg.Snapshot(), obs.Default.Snapshot()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(resp); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
@@ -157,12 +182,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// pprofMux assembles the net/http/pprof routes on a private mux. The
+// PprofMux assembles the net/http/pprof routes on a private mux. The
 // profiler is served on its own listener (-pprof), never the public
 // one: profile requests run for tens of seconds and must not burn the
 // request timeouts or the load-shedding budget, and the endpoint has
 // no business being internet-reachable.
-func pprofMux() *http.ServeMux {
+func PprofMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", netpprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)

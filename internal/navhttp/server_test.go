@@ -1,4 +1,4 @@
-package main
+package navhttp
 
 import (
 	"context"
@@ -32,11 +32,16 @@ func testLakeAndOrg(t *testing.T) (*lakenav.Lake, *lakenav.Organization) {
 	return l, org
 }
 
-func testServer(t *testing.T) *server {
+// newServer is the test shorthand for the common Options shape.
+func newServer(search *lakenav.SearchEngine, maxInflight int) *Server {
+	return New(search, Options{MaxInflight: maxInflight})
+}
+
+func testServer(t *testing.T) *Server {
 	t.Helper()
 	l, org := testLakeAndOrg(t)
 	s := newServer(lakenav.NewSearchEngine(l), 0)
-	s.setOrganization(org)
+	s.SetOrganization(org)
 	return s
 }
 
@@ -183,7 +188,7 @@ func TestHandleIndex(t *testing.T) {
 func TestServesSearchWhileOrgBuilds(t *testing.T) {
 	l, org := testLakeAndOrg(t)
 	s := newServer(lakenav.NewSearchEngine(l), 0)
-	h := s.handler()
+	h := s.Handler()
 
 	do := func(url string) int {
 		rec := httptest.NewRecorder()
@@ -206,7 +211,7 @@ func TestServesSearchWhileOrgBuilds(t *testing.T) {
 		t.Errorf("search before build: %d", code)
 	}
 
-	s.setOrganization(org)
+	s.SetOrganization(org)
 	if code := do("/readyz"); code != http.StatusOK {
 		t.Errorf("readyz after build: %d", code)
 	}
@@ -226,8 +231,8 @@ func TestOrgSwapUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newServer(lakenav.NewSearchEngine(l), 128)
-	s.setOrganization(orgA)
-	h := s.handler()
+	s.SetOrganization(orgA)
+	h := s.Handler()
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -253,9 +258,9 @@ func TestOrgSwapUnderLoad(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		if i%2 == 0 {
-			s.setOrganization(orgB)
+			s.SetOrganization(orgB)
 		} else {
-			s.setOrganization(orgA)
+			s.SetOrganization(orgA)
 		}
 	}
 	close(stop)
@@ -278,7 +283,7 @@ func TestRecoverwareConvertsPanicTo500(t *testing.T) {
 // probes keep answering.
 func TestLimitwareShedsLoad(t *testing.T) {
 	s := testServer(t)
-	h := s.handler()
+	h := s.Handler()
 	for i := 0; i < cap(s.sem); i++ {
 		s.sem <- struct{}{}
 	}
@@ -319,7 +324,7 @@ func TestLimitwareShedsLoad(t *testing.T) {
 // histograms, status classes — next to the process-wide core registry.
 func TestHandleMetrics(t *testing.T) {
 	s := testServer(t)
-	h := s.handler()
+	h := s.Handler()
 	do := func(url string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
@@ -427,7 +432,7 @@ func TestBuildGaugesFollowProgress(t *testing.T) {
 // The profiler lives on its own mux so it can be bound to a private
 // listener; the index and symbol routes must answer.
 func TestPprofMux(t *testing.T) {
-	mux := pprofMux()
+	mux := PprofMux()
 	for _, url := range []string{"/debug/pprof/", "/debug/pprof/symbol"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
@@ -450,7 +455,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		<-release
 		io.WriteString(w, "done")
 	})
-	mux.Handle("/", s.handler())
+	mux.Handle("/", s.Handler())
 	srv := &http.Server{Handler: mux}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -511,3 +516,66 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		t.Error("connection accepted after shutdown")
 	}
 }
+
+// /admin/shard reports fleet identity: the shard id, the serving
+// generation (bumped by every org swap), and readiness — and it must
+// bypass load shedding like the other probes.
+func TestHandleShard(t *testing.T) {
+	l, org := testLakeAndOrg(t)
+	s := New(lakenav.NewSearchEngine(l), Options{ShardID: "s7"})
+	h := s.Handler()
+	status := func() navhttpShardStatus {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/admin/shard", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/admin/shard: status %d", rec.Code)
+		}
+		var st navhttpShardStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	before := status()
+	if before.ShardID != "s7" || before.Ready {
+		t.Errorf("pre-build status = %+v", before)
+	}
+	s.SetOrganization(org)
+	after := status()
+	if !after.Ready || after.Generation <= before.Generation {
+		t.Errorf("post-build status = %+v (before %+v)", after, before)
+	}
+	// The shard id also tags the /metrics export.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var metrics struct {
+		ShardID string `json:"shard_id"`
+		Server  struct {
+			Gauges map[string]int64 `json:"gauges"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ShardID != "s7" {
+		t.Errorf("metrics shard_id = %q", metrics.ShardID)
+	}
+	if got := metrics.Server.Gauges["shard.generation"]; got != int64(after.Generation) {
+		t.Errorf("shard.generation gauge = %d, want %d", got, after.Generation)
+	}
+	// Shedding bypass: with the semaphore full the probe still answers.
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+	if st := status(); st.ShardID != "s7" {
+		t.Errorf("saturated /admin/shard = %+v", st)
+	}
+}
+
+// navhttpShardStatus mirrors ShardStatus for decoding in tests.
+type navhttpShardStatus = ShardStatus
